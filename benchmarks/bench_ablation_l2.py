@@ -1,0 +1,67 @@
+"""Ablation: the optional L2 model, validating EXPERIMENTS.md's deviation #1.
+
+The default timing model omits L2, which over-penalises the coarse
+baselines' fully scattered loads and inflates cuBLASTP's measured advantage
+to ~2x the paper's. Enabling the L2 model (K20c: 1.25 MB) should recover
+much of the coarse kernels' performance while barely moving cuBLASTP's
+already-coalesced kernels — shrinking the fine-vs-coarse ratio toward the
+paper's 2.9x. This bench measures exactly that, turning the documented
+deviation from a hand-wave into a quantified model choice.
+"""
+
+import dataclasses
+
+from common import print_table
+
+from repro.baselines import CudaBlastp
+from repro.cublastp import CuBlastp, CuBlastpConfig
+
+DB, Q = "swissprot_mini", "query517"
+
+
+def compute(lab):
+    db = lab.db(DB)
+    query = lab.query(DB, Q)
+    params = lab.params(DB)
+    out = {}
+    for use_l2 in (False, True):
+        _, cu = CuBlastp(
+            query, params, CuBlastpConfig(use_l2=use_l2)
+        ).search_with_report(db)
+
+        coarse = CudaBlastp(query, params)
+        coarse.use_l2 = use_l2
+        _, cuda = coarse.search_with_report(db)
+        out[use_l2] = {
+            "cublastp": cu.gpu.critical_ms,
+            "cuda": cuda.critical_ms,
+            "ratio": cuda.critical_ms / cu.gpu.critical_ms,
+        }
+    return out
+
+
+def test_ablation_l2(benchmark, lab):
+    res = benchmark.pedantic(compute, args=(lab,), rounds=1, iterations=1)
+    print_table(
+        "Ablation — optional L2 model (critical phases, query517, modelled ms)",
+        ["L2", "cuBLASTP", "CUDA-BLASTP", "coarse/fine ratio"],
+        [
+            ["off" if not k else "on", v["cublastp"], v["cuda"], v["ratio"]]
+            for k, v in res.items()
+        ],
+    )
+    # L2 helps the scatter-bound coarse kernel far more than the coalesced
+    # fine kernels...
+    coarse_gain = res[False]["cuda"] / res[True]["cuda"]
+    fine_gain = res[False]["cublastp"] / res[True]["cublastp"]
+    assert coarse_gain > fine_gain
+    assert coarse_gain > 1.3
+    # ...pulling the fine-vs-coarse ratio toward the paper's 2.9x.
+    assert res[True]["ratio"] < res[False]["ratio"]
+    paper = 2.9
+    assert abs(res[True]["ratio"] - paper) < abs(res[False]["ratio"] - paper)
+
+    benchmark.extra_info["ratios"] = {
+        "l2_off": round(res[False]["ratio"], 2),
+        "l2_on": round(res[True]["ratio"], 2),
+    }

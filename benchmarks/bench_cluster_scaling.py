@@ -1,0 +1,68 @@
+"""§6 extension: GPU-cluster scaling and the result-merge bottleneck.
+
+Not a paper figure — the paper *predicts* this experiment as future work:
+"the result sorting, merging, and ranking from multiple nodes could become
+a time-consuming step, which in turn, would be the performance bottleneck
+on GPU clusters". We build the cluster (``repro.cluster``) and measure
+exactly that: compute span shrinks with nodes while the serial head-node
+gather+merge grows into the profile.
+"""
+
+from common import print_table
+
+from repro.cluster import MultiGpuBlastp
+
+NODES = (1, 2, 4, 8)
+DB, Q = "swissprot_mini", "query517"
+
+
+def compute_scaling(lab):
+    db = lab.db(DB)
+    query = lab.query(DB, Q)
+    params = lab.params(DB)
+    single_alignments = None
+    out = {}
+    for n in NODES:
+        res, rep = MultiGpuBlastp(query, n, params).search_with_report(db)
+        keys = [(a.seq_id, a.score) for a in res.alignments]
+        if single_alignments is None:
+            single_alignments = keys
+        assert keys == single_alignments, "cluster changed the output!"
+        out[n] = {
+            "compute": rep.compute_ms,
+            "gather": rep.gather_ms,
+            "merge": rep.merge_ms,
+            "overall": rep.overall_ms,
+            "merge_share": rep.merge_share,
+        }
+    return out
+
+
+def test_cluster_scaling(benchmark, lab):
+    res = benchmark.pedantic(compute_scaling, args=(lab,), rounds=1, iterations=1)
+
+    base = res[1]["overall"]
+    rows = [
+        [n, v["compute"], v["gather"], v["merge"], v["overall"],
+         base / v["overall"], f"{v['merge_share']:.0%}"]
+        for n, v in res.items()
+    ]
+    print_table(
+        "§6 extension — cluster scaling (swissprot_mini, query517, modelled ms)",
+        ["nodes", "compute", "gather", "merge", "overall", "speedup", "merge+gather share"],
+        rows,
+    )
+
+    # Compute span shrinks monotonically with nodes...
+    computes = [res[n]["compute"] for n in NODES]
+    assert all(a >= b for a, b in zip(computes, computes[1:]))
+    # ...while the serial merge/gather share grows — the predicted
+    # bottleneck — and caps the overall speedup well below linear.
+    shares = [res[n]["merge_share"] for n in NODES]
+    assert all(a < b for a, b in zip(shares, shares[1:]))
+    assert res[NODES[-1]]["merge_share"] > 2 * res[1]["merge_share"]
+    assert base / res[NODES[-1]]["overall"] < NODES[-1] * 0.8
+
+    benchmark.extra_info["scaling"] = {
+        str(n): {k: round(float(x), 5) for k, x in v.items()} for n, v in res.items()
+    }

@@ -1,0 +1,87 @@
+"""Fig. 11: time breakdown for Query517 on the swissprot-like database.
+
+Paper series: FSA-BLAST, cuBLASTP with 1 CPU thread, cuBLASTP with 4 CPU
+threads; stacked bars of hit-detection+ungapped, gapped extension,
+alignment-with-traceback, and other. The paper's claims:
+
+* the critical phases take ~80 % of FSA-BLAST;
+* after GPU acceleration their share collapses and gapped extension +
+  traceback dominate (52 %/32 %/13 % at 1 CPU thread);
+* four CPU threads shrink those, giving > 4x overall vs FSA-BLAST.
+"""
+
+from common import get_lab, print_table
+
+
+def _cublastp_row(lab, threads: int):
+    _, rep = lab.cublastp("swissprot_rich", "query517", cpu_threads=threads)
+    crit = (
+        rep.breakdown["hit_detection"]
+        + rep.breakdown["hit_sorting"]
+        + rep.breakdown["hit_filtering"]
+        + rep.breakdown["ungapped_extension"]
+        + rep.breakdown["data_transfer"]
+    )
+    return {
+        "critical": crit,
+        "gapped": rep.breakdown["gapped_extension"],
+        "traceback": rep.breakdown["final_alignment"],
+        "other": rep.breakdown["other"],
+        "total": rep.serial_ms,
+    }
+
+
+def compute_breakdowns(lab):
+    _, fsa_t, _ = lab.fsa("swissprot_rich", "query517")
+    rows = {
+        "FSA-BLAST": {
+            "critical": fsa_t.critical_ms,
+            "gapped": fsa_t.gapped_ms,
+            "traceback": fsa_t.traceback_ms,
+            "other": fsa_t.other_ms,
+            "total": fsa_t.overall_ms,
+        },
+        "cuBLASTP w/1CPU": _cublastp_row(lab, 1),
+        "cuBLASTP w/4CPU": _cublastp_row(lab, 4),
+    }
+    return rows
+
+
+def test_fig11_breakdown(benchmark, lab):
+    rows = benchmark.pedantic(compute_breakdowns, args=(lab,), rounds=1, iterations=1)
+
+    table = []
+    for name, r in rows.items():
+        table.append(
+            [
+                name,
+                r["critical"],
+                r["gapped"],
+                r["traceback"],
+                r["other"],
+                r["total"],
+                f"{100 * r['critical'] / r['total']:.0f}%",
+            ]
+        )
+    print_table(
+        "Fig. 11 — Time breakdown, Query517 on swissprot_rich (modelled ms)",
+        ["implementation", "hit+ungapped", "gapped", "traceback", "other", "total", "crit%"],
+        table,
+    )
+
+    fsa, one, four = rows["FSA-BLAST"], rows["cuBLASTP w/1CPU"], rows["cuBLASTP w/4CPU"]
+    # Critical phases dominate the sequential baseline...
+    assert fsa["critical"] / fsa["total"] > 0.45
+    # ...but not the accelerated one, where gapped+traceback take over.
+    assert one["critical"] / one["total"] < fsa["critical"] / fsa["total"]
+    assert (one["gapped"] + one["traceback"]) / one["total"] > 0.3
+    # Multithreading the CPU phases shrinks them (Fig. 11's last bar).
+    assert four["gapped"] <= one["gapped"]
+    assert four["traceback"] <= one["traceback"]
+    # Overall improvement over FSA-BLAST is "more than four-fold" in the
+    # paper; require clearly > 2.5x at sandbox scale.
+    assert fsa["total"] / four["total"] > 2.5
+
+    benchmark.extra_info["rows"] = {
+        k: {m: round(v, 4) for m, v in r.items()} for k, r in rows.items()
+    }

@@ -1,0 +1,71 @@
+"""Fig. 14: kernel execution times vs the number of bins per warp.
+
+Paper series, for query517 on swissprot: hit detection, hit sorting, hit
+filtering and total kernel time at 32/64/128/256 bins per warp. Claims:
+
+* sorting (and filtering) improve steadily with more bins (smaller
+  segments sort faster);
+* hit detection degrades past ~128 bins because the shared-memory ``top``
+  arrays crowd out resident blocks (occupancy);
+* the best total sits at an intermediate bin count (128 in the paper).
+
+Also asserts §3.3's hit-survival claim: 5-11 % of hits pass filtering.
+"""
+
+from common import print_table
+
+BIN_COUNTS = (32, 64, 128, 256)
+
+
+def compute_sweep(lab):
+    out = {}
+    for bins in BIN_COUNTS:
+        _, rep = lab.cublastp("swissprot_mini", "query517", num_bins=bins)
+        g = rep.gpu
+        out[bins] = {
+            "hit_detection": g.kernel_ms("hit_detection"),
+            "assembling": g.kernel_ms("hit_assembling"),
+            "sorting": g.kernel_ms("hit_sorting"),
+            "filtering": g.kernel_ms("hit_filtering"),
+            "extension": g.kernel_ms("ungapped_extension"),
+            "total": g.critical_ms,
+            "occupancy": g.profiles["hit_detection"].occupancy,
+            "survival": g.survival_ratio,
+        }
+    return out
+
+
+def test_fig14_bin_sweep(benchmark, lab):
+    sweep = benchmark.pedantic(compute_sweep, args=(lab,), rounds=1, iterations=1)
+
+    rows = [
+        [b, v["hit_detection"], v["assembling"], v["sorting"], v["filtering"],
+         v["total"], f"{v['occupancy']:.0%}"]
+        for b, v in sweep.items()
+    ]
+    print_table(
+        "Fig. 14 — Kernel times vs bins/warp (swissprot_mini, query517, modelled ms)",
+        ["bins", "hit detection", "assembling", "sorting", "filtering", "total", "hit occ"],
+        rows,
+    )
+
+    # The sort proper improves with more (smaller) segments.
+    sort_times = [sweep[b]["sorting"] for b in BIN_COUNTS]
+    assert sort_times[0] > sort_times[-1]
+    assert all(a >= b * 0.98 for a, b in zip(sort_times, sort_times[1:]))
+
+    # Hit detection pays for big top arrays: occupancy is non-increasing
+    # with bins, and 256 bins must be slower than the best configuration.
+    occs = [sweep[b]["occupancy"] for b in BIN_COUNTS]
+    assert all(a >= b for a, b in zip(occs, occs[1:]))
+    hd = [sweep[b]["hit_detection"] for b in BIN_COUNTS]
+    assert sweep[256]["hit_detection"] >= min(hd)
+    assert occs[-1] < occs[0]
+
+    # §3.3: filtering passes 5-11 % of hits to extension.
+    for b in BIN_COUNTS:
+        assert 0.03 <= sweep[b]["survival"] <= 0.13
+
+    benchmark.extra_info["sweep"] = {
+        str(b): {k: round(float(x), 5) for k, x in v.items()} for b, v in sweep.items()
+    }

@@ -1,0 +1,59 @@
+"""Fig. 16: the three fine-grained extension strategies.
+
+Paper series: (a) ungapped-extension kernel time and (b) divergence
+overhead for diagonal-, hit-, and window-based extension across the three
+queries. Claims: window-based is fastest (12-24 % over diagonal-based,
+27-38 % over hit-based) and has by far the lowest divergence overhead.
+"""
+
+from common import QUERIES, print_table
+
+MODES = ("diagonal", "hit", "window")
+
+
+def compute_strategies(lab):
+    out = {}
+    for q in QUERIES:
+        row = {}
+        for mode in MODES:
+            _, rep = lab.cublastp("swissprot_mini", q, extension_mode=mode)
+            prof = rep.gpu.profiles["ungapped_extension"]
+            row[mode] = {
+                "ms": prof.elapsed_ms(),
+                "divergence": prof.divergence_overhead,
+                "gld": prof.global_load_efficiency,
+            }
+        out[q] = row
+    return out
+
+
+def test_fig16_extension_strategies(benchmark, lab):
+    res = benchmark.pedantic(compute_strategies, args=(lab,), rounds=1, iterations=1)
+
+    rows_a = [[q] + [res[q][m]["ms"] for m in MODES] for q in QUERIES]
+    print_table(
+        "Fig. 16(a) — Extension kernel time (modelled ms)",
+        ["query", *MODES],
+        rows_a,
+    )
+    rows_b = [[q] + [f"{res[q][m]['divergence']:.0%}" for m in MODES] for q in QUERIES]
+    print_table(
+        "Fig. 16(b) — Divergence overhead",
+        ["query", *MODES],
+        rows_b,
+    )
+
+    for q in QUERIES:
+        # Window-based wins on time against both alternatives...
+        assert res[q]["window"]["ms"] < res[q]["diagonal"]["ms"]
+        assert res[q]["window"]["ms"] < res[q]["hit"]["ms"]
+        # ...and on divergence overhead, decisively.
+        assert res[q]["window"]["divergence"] < res[q]["hit"]["divergence"]
+        assert res[q]["window"]["divergence"] < res[q]["diagonal"]["divergence"]
+        # Window-based also coalesces its subject loads far better.
+        assert res[q]["window"]["gld"] > res[q]["hit"]["gld"]
+
+    benchmark.extra_info["results"] = {
+        q: {m: {k: round(float(v), 5) for k, v in d.items()} for m, d in row.items()}
+        for q, row in res.items()
+    }

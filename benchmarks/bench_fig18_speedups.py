@@ -1,0 +1,77 @@
+"""Fig. 18: cuBLASTP speedups over the four baselines (all eight panels).
+
+Paper panels, each over three queries and two databases:
+
+  (a,b) vs sequential FSA-BLAST      — critical up to 7.9x, overall 3.6-6x
+  (c,d) vs NCBI-BLAST with 4 threads — critical up to 3.1x, overall 2.1-3.4x
+  (e,f) vs CUDA-BLASTP               — critical up to 2.9x, overall 2.8x
+  (g,h) vs GPU-BLASTP                — critical up to 1.6x, overall 1.9x
+
+"Critical" = hit detection + ungapped extension (the GPU kernels, plus the
+binning/sorting/filtering they require); "overall" adds gapped extension,
+traceback, transfers and host residue. The assertions pin the orderings —
+who wins, everywhere — and sane magnitude bands; absolute factors are
+recorded into the benchmark's extra_info and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from common import DATABASES, QUERIES, print_table
+
+
+def compute_speedups(lab, db_name):
+    out = {}
+    for q in QUERIES:
+        _, fsa_t, _ = lab.fsa(db_name, q)
+        _, ncbi_t, _ = lab.ncbi(db_name, q)
+        _, cu = lab.cublastp(db_name, q)
+        _, cuda = lab.coarse("cuda", db_name, q)
+        _, gpu = lab.coarse("gpu", db_name, q)
+        cu_crit = cu.gpu.critical_ms
+        cu_all = cu.overall_ms
+        out[q] = {
+            "fsa": (fsa_t.critical_ms / cu_crit, fsa_t.overall_ms / cu_all),
+            "ncbi": (ncbi_t.critical_ms / cu_crit, ncbi_t.overall_ms / cu_all),
+            "cuda": (cuda.critical_ms / cu_crit, cuda.overall_ms / cu_all),
+            "gpu": (gpu.critical_ms / cu_crit, gpu.overall_ms / cu_all),
+        }
+    return out
+
+
+@pytest.mark.parametrize("db_name", DATABASES)
+def test_fig18_speedups(benchmark, lab, db_name):
+    res = benchmark.pedantic(compute_speedups, args=(lab, db_name), rounds=1, iterations=1)
+
+    rows = []
+    for q in QUERIES:
+        r = res[q]
+        rows.append(
+            [q] + [f"{r[b][0]:.1f}/{r[b][1]:.1f}" for b in ("fsa", "ncbi", "cuda", "gpu")]
+        )
+    print_table(
+        f"Fig. 18 — cuBLASTP speedups (critical/overall) on {db_name}",
+        ["query", "vs FSA", "vs NCBIx4", "vs CUDA-BLASTP", "vs GPU-BLASTP"],
+        rows,
+    )
+
+    for q in QUERIES:
+        r = res[q]
+        # cuBLASTP wins every comparison, both metrics (the figure's shape).
+        for baseline in ("fsa", "ncbi", "cuda", "gpu"):
+            crit, overall = r[baseline]
+            assert crit > 1.0, (q, baseline, "critical")
+            assert overall > 1.0, (q, baseline, "overall")
+        # Ordering between baselines on the critical phases: the sequential
+        # CPU is slowest, then the coarse GPU codes, with GPU-BLASTP ahead
+        # of CUDA-BLASTP (its work queue + buffering + leaner kernel).
+        assert r["fsa"][0] > r["cuda"][0] > r["gpu"][0]
+        # Magnitude bands (generous: shapes, not point estimates).
+        assert 3 < r["fsa"][0] < 30
+        assert 1.2 < r["cuda"][0] < 8
+        assert 1.1 < r["gpu"][0] < 5
+        assert 1.5 < r["fsa"][1] < 12
+
+    benchmark.extra_info["speedups"] = {
+        q: {b: [round(v, 2) for v in pair] for b, pair in r.items()}
+        for q, r in res.items()
+    }

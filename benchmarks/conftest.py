@@ -1,0 +1,15 @@
+"""Benchmark fixtures."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import get_lab  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return get_lab()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""GPU-cluster search: the paper's future work, running.
+
+The paper closes by planning a GPU-cluster extension and predicting its
+bottleneck: "the result sorting, merging, and ranking from multiple nodes
+could become a time-consuming step". This example searches a database
+across 1-8 simulated GPU nodes, shows the merged output staying identical,
+and prints the scaling curve with the merge share doing exactly what the
+authors feared.
+
+Run:  python examples/cluster_search.py
+"""
+
+from repro import SearchParams, generate_database, generate_query
+from repro.cluster import MultiGpuBlastp
+from repro.io.workloads import WorkloadSpec
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        name="cluster_demo",
+        num_sequences=300,
+        mean_length=250,
+        homolog_fraction=0.04,
+        seed=11,
+        emulated_residues=10**9,
+    )
+    db = generate_database(spec)
+    query = generate_query(350, spec)
+    params = SearchParams(**spec.search_params_kwargs)
+
+    print(f"database: {db.stats()}\n")
+    print(f"{'nodes':>5} {'compute':>9} {'gather':>8} {'merge':>8} "
+          f"{'overall':>9} {'speedup':>8} {'merge+gather':>13}")
+
+    baseline = None
+    reference_hits = None
+    for nodes in (1, 2, 4, 8):
+        result, rep = MultiGpuBlastp(query, nodes, params).search_with_report(db)
+        hits = [(a.seq_id, a.score) for a in result.alignments]
+        if reference_hits is None:
+            reference_hits = hits
+            baseline = rep.overall_ms
+        assert hits == reference_hits, "cluster output must not depend on nodes"
+        print(
+            f"{nodes:>5} {rep.compute_ms:>9.4f} {rep.gather_ms:>8.4f} "
+            f"{rep.merge_ms:>8.4f} {rep.overall_ms:>9.4f} "
+            f"{baseline / rep.overall_ms:>7.2f}x {rep.merge_share:>12.0%}"
+        )
+
+    print(
+        "\noutput identical at every node count. Two effects cap the scaling:\n"
+        "  1. the serial gather+merge at the head node grows with node count\n"
+        "     — the bottleneck §6 predicted; and\n"
+        "  2. per-node fixed costs (query-structure broadcast, host setup)\n"
+        "     dominate once partitions shrink below them — at this demo's\n"
+        "     miniature scale that happens almost immediately, which is why\n"
+        "     clusters only pay off for the multi-GB databases mpiBLAST\n"
+        "     targets (partitioning is round-robin for the same reason:\n"
+        "     contiguous ranges would pile all homolog CPU work on one node)."
+    )
+
+
+if __name__ == "__main__":
+    main()

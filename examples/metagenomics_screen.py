@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Metagenomics screen: an env_nr-style search with the full system story.
+
+The paper motivates cuBLASTP with exactly this workload: environmental
+(metagenomic) databases of millions of short reads-derived protein
+fragments, searched with a reference protein. This example builds an
+env_nr-like database, screens it for a target enzyme, and reports what a
+systems person wants to see: per-kernel GPU profile, transfer volumes,
+CPU-phase times, pipeline overlap, and the speedup over running the same
+search on the CPU baselines.
+
+Run:  python examples/metagenomics_screen.py
+"""
+
+from repro import (
+    CuBlastp,
+    FsaBlast,
+    NcbiBlast,
+    SearchParams,
+    generate_database,
+    generate_query,
+)
+from repro.io.workloads import WorkloadSpec
+
+
+def main() -> None:
+    # env_nr in miniature: many short sequences (fragments), few homologs.
+    spec = WorkloadSpec(
+        name="env_screen",
+        num_sequences=500,
+        mean_length=190,
+        homolog_fraction=0.02,
+        seed=7,
+        emulated_residues=1_250_000_000,  # statistics at env_nr scale
+    )
+    db = generate_database(spec)
+    query = generate_query(420, spec)  # the reference enzyme
+    params = SearchParams(**spec.search_params_kwargs)
+
+    print(f"database: {db.stats()}")
+    result, report = CuBlastp(query, params).search_with_report(db)
+
+    print(f"\nscreen results: {result.num_reported} candidate homolog(s)")
+    for a in result.alignments:
+        print(
+            f"  {a.subject_identifier:>16}  bits={a.bit_score:5.1f}  "
+            f"E={a.evalue:.1e}  coverage={a.length}/{len(query)}"
+        )
+
+    print("\nGPU kernel profile (simulated K20c):")
+    for name, prof in report.gpu.profiles.items():
+        print(
+            f"  {name:<20} {prof.elapsed_ms():7.4f} ms  "
+            f"gld={prof.global_load_efficiency:4.0%}  "
+            f"div={prof.divergence_overhead:4.0%}  occ={prof.occupancy:4.0%}"
+        )
+    print(
+        f"  transfers: {report.gpu.h2d_bytes / 1024:.0f} KiB up "
+        f"({report.h2d_ms:.3f} ms), {report.gpu.d2h_bytes} B back "
+        f"({report.d2h_ms:.3f} ms)"
+    )
+    print(
+        f"  CPU phases (x{report.cpu.threads} threads): gapped "
+        f"{report.cpu.gapped_ms:.3f} ms, traceback {report.cpu.traceback_ms:.3f} ms"
+    )
+    print(
+        f"  pipelined end-to-end: {report.overall_ms:.3f} ms "
+        f"({report.overlap_saved_ms:.3f} ms hidden by overlap)"
+    )
+
+    _, fsa_t, _ = FsaBlast(query, params).search_with_timing(db)
+    _, ncbi_t, _ = NcbiBlast(query, params, threads=4).search_with_timing(db)
+    print(
+        f"\nmodelled comparison: FSA-BLAST {fsa_t.overall_ms:.3f} ms "
+        f"({fsa_t.overall_ms / report.overall_ms:.1f}x), "
+        f"NCBI-BLAST x4 {ncbi_t.overall_ms:.3f} ms "
+        f"({ncbi_t.overall_ms / report.overall_ms:.1f}x)"
+    )
+    print(
+        f"hit-survival through filtering: {report.gpu.survival_ratio:.1%} "
+        "(the paper reports 5-11 %)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Protein-family search: sensitivity of the heuristic vs Smith-Waterman.
+
+A classic BLASTP use case from the paper's introduction: given one family
+member, find the rest of the family in a database. This example plants a
+family of progressively diverged homologs (10-60 % mutation), searches
+with cuBLASTP, and compares against the optimal Smith-Waterman scores to
+show where the heuristic keeps full sensitivity and where very distant
+relatives start to fall below the reporting threshold.
+
+Run:  python examples/protein_family_search.py
+"""
+
+import numpy as np
+
+from repro import CuBlastp, SearchParams, SequenceDatabase
+from repro.alphabet import decode, encode
+from repro.baselines import sw_search_scores
+from repro.matrices import BLOSUM62
+
+
+def mutate(rng: np.random.Generator, codes: np.ndarray, rate: float) -> np.ndarray:
+    """Point-mutate a fraction of residues and apply a few short indels."""
+    out = codes.copy()
+    mask = rng.random(out.size) < rate
+    out[mask] = rng.integers(0, 20, int(mask.sum()))
+    for _ in range(int(rate * 10)):
+        pos = int(rng.integers(5, out.size - 8))
+        gap = int(rng.integers(1, 4))
+        if rng.random() < 0.5:
+            out = np.delete(out, slice(pos, pos + gap))
+        else:
+            out = np.insert(out, pos, rng.integers(0, 20, gap).astype(np.uint8))
+    return out.astype(np.uint8)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    # The family founder: 180 residues of random protein.
+    founder = rng.integers(0, 20, 180).astype(np.uint8)
+    query = decode(founder)
+
+    # Database: 8 family members at increasing divergence + 40 decoys.
+    divergences = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+    members = [decode(mutate(rng, founder, d)) for d in divergences]
+    decoys = [decode(rng.integers(0, 20, 200).astype(np.uint8)) for _ in range(40)]
+    names = [f"member_{int(100 * d)}pct" for d in divergences] + [
+        f"decoy_{i}" for i in range(len(decoys))
+    ]
+    db = SequenceDatabase.from_strings(members + decoys, names)
+
+    params = SearchParams(evalue=1e-3, effective_db_residues=50_000_000)
+    result = CuBlastp(query, params).search(db)
+    found = {a.subject_identifier for a in result.alignments}
+
+    sw = sw_search_scores(encode(query), db, BLOSUM62)
+    print(f"{'sequence':>14}  {'SW opt':>7}  {'BLAST':>6}  {'found':>5}")
+    for i, d in enumerate(divergences):
+        blast_score = next(
+            (a.score for a in result.alignments if a.seq_id == i), "-"
+        )
+        print(
+            f"{names[i]:>14}  {int(sw[i]):>7}  {str(blast_score):>6}  "
+            f"{'yes' if names[i] in found else 'NO':>5}"
+        )
+
+    # Sanity: no decoy reported at this E-value, close relatives all found.
+    assert not any(n.startswith("decoy") for n in found), "false positive!"
+    assert all(f"member_{int(100 * d)}pct" in found for d in divergences[:4])
+
+    hits = [a for a in result.alignments if a.seq_id < len(divergences)]
+    ratios = [a.score / sw[a.seq_id] for a in hits]
+    print(
+        f"\nfamily members found: {len(hits)}/{len(divergences)}; "
+        f"BLAST reaches {100 * min(ratios):.0f}-{100 * max(ratios):.0f} % "
+        "of the optimal Smith-Waterman score on reported hits"
+    )
+    if len(hits) < len(divergences):
+        print(
+            "the most diverged relatives fall below the two-hit / E-value "
+            "thresholds — the sensitivity/speed trade BLAST makes by design."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline sandboxes).
+
+`pip install -e .` needs setuptools' bdist_wheel, which on setuptools<70
+lives in the separately-installed `wheel` package. `python setup.py develop`
+performs the same editable install without it. All real metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

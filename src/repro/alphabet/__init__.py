@@ -1,0 +1,30 @@
+"""Protein alphabet: residue encoding, validation and background statistics.
+
+BLAST operates on small-integer encodings of amino-acid residues rather than
+on characters; every downstream structure (PSSM, DFA, word indices) is built
+on the encoding defined here.
+"""
+
+from repro.alphabet.protein import (
+    ALPHABET,
+    ALPHABET_SIZE,
+    GAP_CHAR,
+    ROBINSON_FREQUENCIES,
+    UNKNOWN_CODE,
+    background_frequencies,
+    decode,
+    encode,
+    is_valid_sequence,
+)
+
+__all__ = [
+    "ALPHABET",
+    "ALPHABET_SIZE",
+    "GAP_CHAR",
+    "ROBINSON_FREQUENCIES",
+    "UNKNOWN_CODE",
+    "background_frequencies",
+    "decode",
+    "encode",
+    "is_valid_sequence",
+]

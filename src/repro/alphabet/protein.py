@@ -1,0 +1,127 @@
+"""The 24-letter protein alphabet used throughout the library.
+
+The ordering matches the classic NCBI ``ARNDCQEGHILKMFPSTWYVBZX*`` layout:
+the 20 standard amino acids first, then the ambiguity codes ``B`` (Asx) and
+``Z`` (Glx), the unknown residue ``X``, and the stop/masking symbol ``*``.
+Rare residues (``U`` selenocysteine, ``O`` pyrrolysine, ``J`` Leu/Ile
+ambiguity) are folded into ``X``, which is what FSA-BLAST does on input.
+
+Sequences are stored as ``numpy.uint8`` arrays of codes in ``[0, 24)``; all
+hot paths (word extraction, PSSM lookup) index arrays with these codes
+directly, so the encoding is the single source of truth for array layouts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical residue ordering. Index in this string == integer code.
+ALPHABET: str = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+#: Number of symbols in the alphabet (and the row count of scoring matrices).
+ALPHABET_SIZE: int = len(ALPHABET)
+
+#: Code assigned to unknown / unrepresentable residues.
+UNKNOWN_CODE: int = ALPHABET.index("X")
+
+#: Character used for gaps in alignment rendering (never stored in sequences).
+GAP_CHAR: str = "-"
+
+# Robinson & Robinson (1991) amino-acid background frequencies, the standard
+# composition BLAST uses for Karlin-Altschul statistics and that our workload
+# generator samples from. Order follows the 20 standard residues of ALPHABET.
+ROBINSON_FREQUENCIES: dict[str, float] = {
+    "A": 0.07805,
+    "R": 0.05129,
+    "N": 0.04487,
+    "D": 0.05364,
+    "C": 0.01925,
+    "Q": 0.04264,
+    "E": 0.06295,
+    "G": 0.07377,
+    "H": 0.02199,
+    "I": 0.05142,
+    "L": 0.09019,
+    "K": 0.05744,
+    "M": 0.02243,
+    "F": 0.03856,
+    "P": 0.05203,
+    "S": 0.07120,
+    "T": 0.05841,
+    "W": 0.01330,
+    "Y": 0.03216,
+    "V": 0.06441,
+}
+
+# Build the char -> code translation table once. 256 entries; unknown
+# characters (and the folded rare residues) map to UNKNOWN_CODE.
+_ENCODE_TABLE = np.full(256, UNKNOWN_CODE, dtype=np.uint8)
+for _i, _c in enumerate(ALPHABET):
+    _ENCODE_TABLE[ord(_c)] = _i
+    _ENCODE_TABLE[ord(_c.lower())] = _i
+for _c in "UOJ":
+    _ENCODE_TABLE[ord(_c)] = UNKNOWN_CODE
+    _ENCODE_TABLE[ord(_c.lower())] = UNKNOWN_CODE
+
+_DECODE_TABLE = np.frombuffer(ALPHABET.encode("ascii"), dtype=np.uint8)
+
+
+def encode(sequence: str | bytes) -> np.ndarray:
+    """Encode a residue string into a ``uint8`` code array.
+
+    Unknown characters are mapped to ``X`` rather than rejected, mirroring
+    the permissive input handling of FSA-BLAST. Use :func:`is_valid_sequence`
+    first when strict validation is wanted.
+
+    Parameters
+    ----------
+    sequence:
+        Residues as ``str`` or ASCII ``bytes``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of codes, one per residue.
+    """
+    if isinstance(sequence, str):
+        sequence = sequence.encode("ascii", errors="replace")
+    raw = np.frombuffer(sequence, dtype=np.uint8)
+    return _ENCODE_TABLE[raw]
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a ``uint8`` code array back into a residue string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and int(codes.max()) >= ALPHABET_SIZE:
+        raise ValueError(
+            f"code {int(codes.max())} out of range for alphabet of size {ALPHABET_SIZE}"
+        )
+    return _DECODE_TABLE[codes].tobytes().decode("ascii")
+
+
+def is_valid_sequence(sequence: str) -> bool:
+    """Return ``True`` when every character is a recognised residue letter.
+
+    The folded rare residues (``U``, ``O``, ``J``) count as valid because
+    they encode deterministically (to ``X``).
+    """
+    allowed = set(ALPHABET + ALPHABET.lower() + "UOJuoj")
+    return all(c in allowed for c in sequence)
+
+
+def background_frequencies() -> np.ndarray:
+    """Background probability for each alphabet code.
+
+    The 20 standard residues carry Robinson-Robinson frequencies; the four
+    ambiguity/stop codes get probability zero (BLAST statistics treat them
+    as non-scoring). The standard-residue block sums to ~1.0.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64`` array of length :data:`ALPHABET_SIZE`.
+    """
+    freqs = np.zeros(ALPHABET_SIZE, dtype=np.float64)
+    for residue, p in ROBINSON_FREQUENCIES.items():
+        freqs[ALPHABET.index(residue)] = p
+    return freqs / freqs.sum()

@@ -1,0 +1,122 @@
+"""FSA-BLAST: the sequential CPU baseline (and output oracle).
+
+Functionally this *is* the reference pipeline — FSA-BLAST defines what
+every other implementation must output. The wrapper adds the timing story:
+per-phase times from the CPU cost model priced over the search's actual
+work counts (DESIGN.md §2's substitution for wall-clock on the paper's
+i5-2400).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import BlastpPipeline, PhaseCounts
+from repro.core.results import SearchResult
+from repro.core.statistics import SearchParams
+from repro.cublastp.pipeline import host_other_ms
+from repro.io.database import SequenceDatabase
+from repro.perfmodel.calibration import CostConstants, DEFAULT_COSTS
+from repro.perfmodel.cpu_cost import (
+    critical_phase_ms,
+    gapped_work_items,
+    thread_makespan_ms,
+    traceback_work_items,
+    ungapped_cells,
+)
+
+
+@dataclass
+class FsaBlastTiming:
+    """Per-phase modelled times of a CPU BLASTP run."""
+
+    critical_ms: float  # hit detection + ungapped extension
+    gapped_ms: float
+    traceback_ms: float
+    other_ms: float
+    threads: int
+
+    @property
+    def overall_ms(self) -> float:
+        return self.critical_ms + self.gapped_ms + self.traceback_ms + self.other_ms
+
+    def breakdown(self) -> dict[str, float]:
+        """Fig. 11-style stage map."""
+        return {
+            "hit_detection_and_ungapped": self.critical_ms,
+            "gapped_extension": self.gapped_ms,
+            "alignment_with_traceback": self.traceback_ms,
+            "other": self.other_ms,
+        }
+
+
+class FsaBlast:
+    """Sequential CPU BLASTP (FSA-BLAST).
+
+    Parameters mirror :class:`~repro.cublastp.search.CuBlastp`; ``search``
+    returns the canonical result, ``search_with_timing`` adds the model.
+    """
+
+    threads = 1
+    costs: CostConstants = DEFAULT_COSTS
+    name = "FSA-BLAST"
+
+    def __init__(self, query: str | np.ndarray, params: SearchParams | None = None) -> None:
+        self.pipe = BlastpPipeline(query, params)
+
+    def search(self, db: SequenceDatabase) -> SearchResult:
+        return self.pipe.search(db)
+
+    def search_with_timing(self, db: SequenceDatabase) -> tuple[SearchResult, FsaBlastTiming, PhaseCounts]:
+        """Search and attach the per-phase cost model."""
+        pipe = self.pipe
+        cutoffs = pipe.cutoffs(db)
+        db_hits = pipe.phase_hit_detection(db)
+        extensions, num_seeds = pipe.phase_ungapped(db_hits, db, cutoffs)
+        gapped, num_triggers = pipe.phase_gapped(extensions, db, cutoffs)
+        alignments = pipe.phase_traceback(gapped, db, cutoffs)
+
+        num_words = int(
+            np.maximum(db.lengths - pipe.params.word_length + 1, 0).sum()
+        )
+        cells = ungapped_cells(extensions, cutoffs.x_drop_ungapped)
+        critical = critical_phase_ms(
+            num_words, len(db_hits), cells, self.costs, threads=self.threads
+        )
+        gapped_ms = thread_makespan_ms(
+            gapped_work_items(gapped, self.costs), self.threads, self.costs
+        )
+        reported = [g for g in gapped if g.score >= cutoffs.report_cutoff]
+        traceback_ms = thread_makespan_ms(
+            traceback_work_items(reported, self.costs), self.threads, self.costs
+        )
+        timing = FsaBlastTiming(
+            critical_ms=critical,
+            gapped_ms=gapped_ms,
+            traceback_ms=traceback_ms,
+            other_ms=host_other_ms(db, pipe.query_length),
+            threads=self.threads,
+        )
+        counts = PhaseCounts(
+            num_hits=len(db_hits),
+            num_seeds=num_seeds,
+            num_ungapped_extensions=len(extensions),
+            num_gapped_triggers=num_triggers,
+            num_gapped_extensions=len(gapped),
+            num_traceback=len(gapped),
+            num_reported=len(alignments),
+        )
+        result = SearchResult(
+            query_length=pipe.query_length,
+            db_sequences=len(db),
+            db_residues=int(db.codes.size),
+            alignments=alignments,
+            num_hits=counts.num_hits,
+            num_seeds=num_seeds,
+            num_ungapped_extensions=len(extensions),
+            num_gapped_extensions=len(gapped),
+            num_reported=len(alignments),
+        )
+        return result, timing, counts

@@ -1,0 +1,22 @@
+"""GPU-BLASTP (Xiao et al., IPDPS 2011) — the stronger coarse baseline.
+
+Same one-thread-per-sequence kernel as CUDA-BLASTP, plus the two published
+improvements: a runtime work queue (a lane grabs the next sequence from a
+global atomic the moment it finishes, fixing static-assignment imbalance)
+and two-level output buffering (extensions buffered per thread, flushed
+per sequence, avoiding the global atomic on every extension).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cuda_blastp import CudaBlastp
+
+
+class GpuBlastp(CudaBlastp):
+    """Coarse-grained baseline searcher (GPU-BLASTP flavour)."""
+
+    name = "GPU-BLASTP"
+    work_queue = True
+    buffered_output = True
+    sort_by_length = False  # the work queue supersedes length sorting
+    kernel_registers = 40

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``search``
+    BLASTP-search a FASTA database with a FASTA query (or a literal
+    sequence), printing the pairwise report or tabular output. Chooses
+    the cuBLASTP engine by default; ``--engine`` selects a baseline.
+``makedb``
+    Generate a synthetic database (the workload generator) as FASTA, for
+    trying the tool without real data.
+``profile``
+    Run a search and print the simulated GPU kernel profiles and the
+    end-to-end breakdown (the Fig. 19 view for your own inputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.baselines import CudaBlastp, FsaBlast, GpuBlastp, NcbiBlast
+from repro.core import SearchParams
+from repro.cublastp import CuBlastp, CuBlastpConfig, ExtensionMode
+from repro.io import (
+    FastaRecord,
+    SequenceDatabase,
+    generate_database,
+    read_fasta_file,
+    write_fasta,
+)
+from repro.io.report import format_pairwise, write_tabular
+from repro.io.workloads import WorkloadSpec
+
+ENGINES = {
+    "cublastp": CuBlastp,
+    "fsa": FsaBlast,
+    "ncbi": NcbiBlast,
+    "cuda-blastp": CudaBlastp,
+    "gpu-blastp": GpuBlastp,
+}
+
+
+def _load_queries(arg: str) -> list[tuple[str, str]]:
+    """Resolve a query argument: (multi-record) FASTA path or literal string."""
+    path = Path(arg)
+    if path.exists():
+        records = read_fasta_file(path)
+        if not records:
+            raise SystemExit(f"error: {arg}: no FASTA records")
+        return [(r.identifier, r.sequence) for r in records]
+    if all(c.isalpha() for c in arg) and len(arg) >= 6:
+        return [("query", arg.upper())]
+    raise SystemExit(f"error: {arg}: not a file and not a residue string")
+
+
+def _load_query(arg: str) -> tuple[str, str]:
+    """First query of the argument (single-query commands)."""
+    return _load_queries(arg)[0]
+
+
+def _build_params(args: argparse.Namespace) -> SearchParams:
+    return SearchParams(
+        evalue=args.evalue,
+        threshold=args.threshold,
+        two_hit_window=args.window,
+        max_alignments=args.max_alignments,
+        effective_db_residues=args.effective_db_size,
+    )
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    queries = _load_queries(args.query)
+    db = SequenceDatabase.from_records(read_fasta_file(args.database))
+    params = _build_params(args)
+    engine_cls = ENGINES[args.engine]
+    first_tabular = True
+    for query_id, query in queries:
+        if args.engine == "ncbi":
+            engine = engine_cls(query, params, threads=args.threads)
+        elif args.engine == "cublastp":
+            engine = engine_cls(
+                query,
+                params,
+                CuBlastpConfig(
+                    extension_mode=ExtensionMode(args.extension),
+                    num_bins=args.bins,
+                    cpu_threads=args.threads,
+                ),
+            )
+        else:
+            engine = engine_cls(query, params)
+        result = engine.search(db)
+        if args.outfmt == "tabular":
+            write_tabular(query_id, result, sys.stdout, header=first_tabular)
+            first_tabular = False
+        else:
+            sys.stdout.write(format_pairwise(query_id, result))
+            if len(queries) > 1:
+                sys.stdout.write("\n" + "=" * 70 + "\n\n")
+    return 0
+
+
+def cmd_makedb(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        name=args.name,
+        num_sequences=args.sequences,
+        mean_length=args.mean_length,
+        homolog_fraction=args.homologs,
+        seed=args.seed,
+    )
+    db = generate_database(spec)
+    records = [
+        FastaRecord(db.identifier(i), "", db.sequence_str(i)) for i in range(len(db))
+    ]
+    write_fasta(records, args.output)
+    print(f"wrote {len(db)} sequences ({int(db.codes.size):,} residues) to {args.output}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    query_id, query = _load_query(args.query)
+    db = SequenceDatabase.from_records(read_fasta_file(args.database))
+    params = _build_params(args)
+    result, report = CuBlastp(query, params).search_with_report(db)
+    print(f"query {query_id} vs {args.database}: {result.summary()}\n")
+    print(f"{'kernel':<22} {'ms':>9} {'gld':>6} {'div':>6} {'occ':>6}")
+    for name, prof in report.gpu.profiles.items():
+        print(
+            f"{name:<22} {prof.elapsed_ms():>9.4f} "
+            f"{prof.global_load_efficiency:>6.0%} "
+            f"{prof.divergence_overhead:>6.0%} {prof.occupancy:>6.0%}"
+        )
+    print(f"\n{'stage':<22} {'ms':>9}  share")
+    for stage, ms in report.breakdown.items():
+        print(f"{stage:<22} {ms:>9.4f}  {ms / report.serial_ms:>5.0%}")
+    print(
+        f"\npipelined end-to-end {report.overall_ms:.4f} ms "
+        f"(overlap hides {report.overlap_saved_ms:.4f} ms)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="cuBLASTP reproduction: protein sequence search on a simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_search_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("query", help="query FASTA file or literal residue string")
+        p.add_argument("database", help="database FASTA file")
+        p.add_argument("--evalue", type=float, default=10.0)
+        p.add_argument("--threshold", type=int, default=11, help="neighbourhood T")
+        p.add_argument("--window", type=int, default=40, help="two-hit window A")
+        p.add_argument("--max-alignments", type=int, default=500)
+        p.add_argument(
+            "--effective-db-size",
+            type=int,
+            default=None,
+            help="evaluate E-values as if the database had this many residues",
+        )
+        p.add_argument("--threads", type=int, default=4, help="CPU threads (model)")
+
+    p_search = sub.add_parser("search", help="run a BLASTP search")
+    add_search_args(p_search)
+    p_search.add_argument("--engine", choices=sorted(ENGINES), default="cublastp")
+    p_search.add_argument(
+        "--extension", choices=[m.value for m in ExtensionMode], default="window"
+    )
+    p_search.add_argument("--bins", type=int, default=128, help="bins per warp")
+    p_search.add_argument("--outfmt", choices=["pairwise", "tabular"], default="pairwise")
+    p_search.set_defaults(func=cmd_search)
+
+    p_makedb = sub.add_parser("makedb", help="generate a synthetic FASTA database")
+    p_makedb.add_argument("output", help="output FASTA path")
+    p_makedb.add_argument("--sequences", type=int, default=400)
+    p_makedb.add_argument("--mean-length", type=int, default=250)
+    p_makedb.add_argument("--homologs", type=float, default=0.05)
+    p_makedb.add_argument("--seed", type=int, default=20140519)
+    p_makedb.add_argument("--name", default="synthdb")
+    p_makedb.set_defaults(func=cmd_makedb)
+
+    p_profile = sub.add_parser("profile", help="print simulated GPU profiles")
+    add_search_args(p_profile)
+    p_profile.set_defaults(func=cmd_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Multi-GPU cluster extension (the paper's §6 future work).
+
+The paper closes by planning an mpiBLAST-style extension "for very large
+databases on GPU clusters", warning that "the result sorting, merging, and
+ranking from multiple nodes could become a time-consuming step … the
+performance bottleneck". This package builds that system on the same
+simulator: the database is partitioned residue-balanced across nodes, each
+node runs the full cuBLASTP pipeline on its own simulated GPU + CPU, and a
+head node merges, re-ranks and truncates the per-node results — with the
+merge modelled explicitly so the predicted bottleneck is measurable
+(`benchmarks/bench_cluster_scaling.py`).
+
+Merged output is identical to a single-node search of the whole database
+(tests enforce it), so the scaling numbers compare equal-output systems,
+in keeping with the rest of the repo.
+"""
+
+from repro.cluster.multi_gpu import ClusterReport, MultiGpuBlastp, NodeResult
+from repro.cluster.partition import partition_database
+
+__all__ = [
+    "ClusterReport",
+    "MultiGpuBlastp",
+    "NodeResult",
+    "partition_database",
+]

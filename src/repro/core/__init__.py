@@ -1,0 +1,39 @@
+"""The four-phase BLASTP pipeline (hit detection, ungapped extension,
+gapped extension, alignment with traceback) plus its statistics and results.
+
+This package is the *semantic* definition of protein search in this repo:
+the sequential CPU reference (FSA-BLAST baseline) calls these functions
+directly, and every GPU kernel in :mod:`repro.cublastp` is tested to produce
+byte-identical phase outputs — which is how the paper's "output identical to
+FSA-BLAST" claim is enforced rather than asserted.
+"""
+
+from repro.core.gapped import GappedExtension, gapped_extend
+from repro.core.hit_detection import DatabaseHits, detect_hits
+from repro.core.hits import HitArray, diagonal_of
+from repro.core.pipeline import BlastpPipeline, PhaseCounts
+from repro.core.results import Alignment, SearchResult, UngappedExtension
+from repro.core.statistics import SearchParams, resolve_cutoffs
+from repro.core.traceback import TracebackAlignment, traceback_align
+from repro.core.two_hit import select_seeds_and_extend
+from repro.core.ungapped import ungapped_extend
+
+__all__ = [
+    "Alignment",
+    "BlastpPipeline",
+    "DatabaseHits",
+    "GappedExtension",
+    "HitArray",
+    "PhaseCounts",
+    "SearchParams",
+    "SearchResult",
+    "TracebackAlignment",
+    "UngappedExtension",
+    "detect_hits",
+    "diagonal_of",
+    "gapped_extend",
+    "resolve_cutoffs",
+    "select_seeds_and_extend",
+    "traceback_align",
+    "ungapped_extend",
+]

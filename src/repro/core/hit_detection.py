@@ -1,0 +1,99 @@
+"""Phase 1: hit detection over a whole database (vectorised CPU reference).
+
+Scans every subject sequence column-major — exactly the order of Fig. 3 —
+and returns all hits as one flat :class:`~repro.core.hits.HitArray`. This is
+the functional reference the GPU hit-detection kernel is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hits import HitArray
+from repro.io.database import SequenceDatabase
+from repro.seeding.lookup import WordLookupTable
+from repro.seeding.words import word_indices
+
+
+@dataclass
+class DatabaseHits:
+    """All hits of one query against one database.
+
+    Attributes
+    ----------
+    hits:
+        Flat hit array in (sequence, column-major) order.
+    per_sequence:
+        ``int64`` array: number of hits found in each subject sequence.
+    """
+
+    hits: HitArray
+    per_sequence: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+
+def detect_hits(lookup: WordLookupTable, db: SequenceDatabase) -> DatabaseHits:
+    """Find every word hit between the query and every database sequence.
+
+    The whole database is processed in one vectorised pass: word indices
+    for all subject windows at once, one CSR gather for the neighbourhood
+    lists, then a ragged expansion — no per-hit Python work.
+    """
+    nbr = lookup.neighborhood
+    w = nbr.word_length
+    offsets = db.offsets
+    codes = db.codes
+    n_seq = len(db)
+
+    # Word index of every window of every sequence, computed on the packed
+    # code array, then windows that straddle a sequence boundary are masked.
+    widx_all = word_indices(codes, w)
+    if widx_all.size == 0:
+        empty = HitArray(
+            seq_id=np.zeros(0, dtype=np.int64),
+            query_pos=np.zeros(0, dtype=np.int64),
+            subject_pos=np.zeros(0, dtype=np.int64),
+            query_length=nbr.query_length,
+        )
+        return DatabaseHits(hits=empty, per_sequence=np.zeros(n_seq, dtype=np.int64))
+
+    window_global = np.arange(widx_all.size, dtype=np.int64)
+    # Sequence owning each window start; a window is valid when it ends
+    # within the same sequence.
+    owner = np.searchsorted(offsets, window_global, side="right") - 1
+    valid = window_global + w <= offsets[owner + 1]
+    widx = widx_all[valid]
+    owner = owner[valid]
+    local_pos = window_global[valid] - offsets[owner]
+
+    starts = nbr.offsets[widx]
+    counts = (nbr.offsets[widx + 1] - starts).astype(np.int64)
+    total = int(counts.sum())
+    per_sequence = np.bincount(owner, weights=counts, minlength=n_seq).astype(np.int64)
+    if total == 0:
+        empty = HitArray(
+            seq_id=np.zeros(0, dtype=np.int64),
+            query_pos=np.zeros(0, dtype=np.int64),
+            subject_pos=np.zeros(0, dtype=np.int64),
+            query_length=nbr.query_length,
+        )
+        return DatabaseHits(hits=empty, per_sequence=per_sequence)
+
+    # Ragged expansion of the CSR slices (same trick as WordLookupTable.scan).
+    seq_id = np.repeat(owner, counts)
+    subject_pos = np.repeat(local_pos, counts)
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    query_pos = nbr.positions[np.repeat(starts, counts) + within].astype(np.int64)
+
+    hits = HitArray(
+        seq_id=seq_id,
+        query_pos=query_pos,
+        subject_pos=subject_pos,
+        query_length=nbr.query_length,
+    )
+    return DatabaseHits(hits=hits, per_sequence=per_sequence)

@@ -1,0 +1,74 @@
+"""Hit containers shared by every BLASTP implementation in this repo.
+
+A *hit* is a tuple ``(seq_id, query_pos, subject_pos)`` naming one word
+match. The *diagonal number* is defined exactly as the paper's Algorithm 1
+line 6: ``diagonal = subject_pos - query_pos + query_length``, which maps
+the range ``[-query_length, subject_length]`` onto non-negative integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def diagonal_of(query_pos: np.ndarray, subject_pos: np.ndarray, query_length: int) -> np.ndarray:
+    """Diagonal number of each hit (Algorithm 1, line 6)."""
+    return np.asarray(subject_pos, dtype=np.int64) - np.asarray(query_pos, dtype=np.int64) + query_length
+
+
+@dataclass
+class HitArray:
+    """A flat batch of hits in structure-of-arrays form.
+
+    All arrays are aligned (same length). The column-major invariant —
+    within one sequence, ``subject_pos`` is non-decreasing, and hits of the
+    same subject position are ordered by ascending ``query_pos`` — holds for
+    the output of hit detection and is what the binning/sorting machinery
+    re-orders into diagonal-major form.
+    """
+
+    seq_id: np.ndarray
+    query_pos: np.ndarray
+    subject_pos: np.ndarray
+    query_length: int
+
+    def __post_init__(self) -> None:
+        self.seq_id = np.asarray(self.seq_id, dtype=np.int64)
+        self.query_pos = np.asarray(self.query_pos, dtype=np.int64)
+        self.subject_pos = np.asarray(self.subject_pos, dtype=np.int64)
+        if not (self.seq_id.size == self.query_pos.size == self.subject_pos.size):
+            raise ValueError("hit arrays must be aligned")
+
+    def __len__(self) -> int:
+        return int(self.seq_id.size)
+
+    @property
+    def diagonal(self) -> np.ndarray:
+        """Diagonal number of every hit."""
+        return diagonal_of(self.query_pos, self.subject_pos, self.query_length)
+
+    def sorted_diagonal_major(self) -> "HitArray":
+        """Reorder hits to (seq_id, diagonal, subject_pos) order.
+
+        This is the order the ungapped-extension phase consumes — the
+        target order of the paper's binning-sorting step.
+        """
+        order = np.lexsort((self.subject_pos, self.diagonal, self.seq_id))
+        return HitArray(
+            seq_id=self.seq_id[order],
+            query_pos=self.query_pos[order],
+            subject_pos=self.subject_pos[order],
+            query_length=self.query_length,
+        )
+
+    def as_tuples(self) -> list[tuple[int, int, int]]:
+        """Hits as ``(seq_id, query_pos, subject_pos)`` tuples (tests only)."""
+        return list(
+            zip(
+                self.seq_id.tolist(),
+                self.query_pos.tolist(),
+                self.subject_pos.tolist(),
+            )
+        )

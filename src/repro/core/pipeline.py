@@ -1,0 +1,316 @@
+"""The reference four-phase BLASTP pipeline.
+
+:class:`BlastpPipeline` wires the phase implementations together and is the
+single source of truth for inter-phase plumbing (seed choice, containment
+de-duplication, cutoff application). Baselines and the cuBLASTP search reuse
+these phase methods wherever their algorithms coincide, so behavioural
+differences between implementations are confined to the phases the paper
+actually re-designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alphabet import encode
+from repro.core.gapped import GappedExtension, gapped_extend
+from repro.core.hit_detection import DatabaseHits, detect_hits
+from repro.core.results import Alignment, SearchResult, UngappedExtension
+from repro.core.statistics import Cutoffs, SearchParams, resolve_cutoffs
+from repro.core.traceback import traceback_align
+from repro.core.two_hit import select_seeds_and_extend
+from repro.io.database import SequenceDatabase
+from repro.matrices.pssm import build_pssm
+from repro.seeding.lookup import WordLookupTable
+
+
+@dataclass(frozen=True)
+class PhaseCounts:
+    """Work-item counts of one search, phase by phase.
+
+    These drive the performance models: both the CPU cost model and the GPU
+    simulator charge per work item, so identical counts guarantee the
+    performance comparison measures *architecture*, not workload drift.
+    """
+
+    num_hits: int
+    num_seeds: int
+    num_ungapped_extensions: int
+    num_gapped_triggers: int
+    num_gapped_extensions: int
+    num_traceback: int
+    num_reported: int
+
+
+class BlastpPipeline:
+    """Reference BLASTP search for one query.
+
+    Parameters
+    ----------
+    query:
+        Query sequence as a residue string or encoded ``uint8`` array.
+    params:
+        Search parameters (defaults are the BLASTP standards).
+    """
+
+    def __init__(self, query: str | np.ndarray, params: SearchParams | None = None) -> None:
+        self.params = params or SearchParams()
+        self.query_codes = (
+            encode(query) if isinstance(query, str) else np.asarray(query, dtype=np.uint8)
+        )
+        if self.query_codes.size < self.params.word_length:
+            raise ValueError("query shorter than the word length")
+        self.pssm = build_pssm(self.query_codes, self.params.matrix)
+        self.seg_mask = None
+        if self.params.seg:
+            from repro.seeding.seg import seg_mask
+
+            self.seg_mask = seg_mask(self.query_codes)
+        from repro.seeding.words import build_neighborhood
+
+        self.lookup = WordLookupTable(
+            build_neighborhood(
+                self.query_codes,
+                self.params.matrix,
+                self.params.word_length,
+                self.params.threshold,
+                masked=self.seg_mask,
+            )
+        )
+
+    @property
+    def query_length(self) -> int:
+        return int(self.query_codes.size)
+
+    def cutoffs(self, db: SequenceDatabase) -> Cutoffs:
+        """Raw-score cutoffs for this query against ``db``."""
+        return resolve_cutoffs(self.params, self.query_length, int(db.codes.size))
+
+    # -- phases ------------------------------------------------------------
+
+    def phase_hit_detection(self, db: SequenceDatabase) -> DatabaseHits:
+        """Phase 1: all word hits, column-major order."""
+        return detect_hits(self.lookup, db)
+
+    def phase_ungapped(
+        self, db_hits: DatabaseHits, db: SequenceDatabase, cutoffs: Cutoffs
+    ) -> tuple[list[UngappedExtension], int]:
+        """Phase 2: two-hit seeding + x-drop ungapped extension."""
+        return select_seeds_and_extend(
+            db_hits.hits,
+            db,
+            self.pssm,
+            self.params.word_length,
+            self.params.two_hit_window,
+            cutoffs.x_drop_ungapped,
+        )
+
+    def phase_gapped(
+        self,
+        extensions: list[UngappedExtension],
+        db: SequenceDatabase,
+        cutoffs: Cutoffs,
+    ) -> tuple[list[GappedExtension], int]:
+        """Phase 3: gapped extension on high-scoring ungapped segments.
+
+        Segments scoring below the gap trigger are dropped. Triggered
+        segments are processed best-first per sequence, and a segment whose
+        seed point already lies inside an accepted extension's bounding box
+        is skipped (BLAST's containment rule) — it would rediscover the
+        same alignment.
+
+        Returns
+        -------
+        (gapped_extensions, num_triggers)
+        """
+        triggered = [e for e in extensions if e.score >= cutoffs.gap_trigger]
+        num_triggers = len(triggered)
+        triggered.sort(key=lambda e: (-e.score, e.seq_id, e.subject_start, e.query_start))
+        accepted: list[GappedExtension] = []
+        boxes: dict[int, list[tuple[int, int, int, int]]] = {}
+        for ext in triggered:
+            mid = ext.length // 2
+            seed_q = ext.query_start + mid
+            seed_s = ext.subject_start + mid
+            covered = any(
+                bqs <= seed_q <= bqe and bss <= seed_s <= bse
+                for (bqs, bqe, bss, bse) in boxes.get(ext.seq_id, [])
+            )
+            if covered:
+                continue
+            gext = gapped_extend(
+                self.pssm,
+                db.sequence(ext.seq_id),
+                ext.seq_id,
+                seed_q,
+                seed_s,
+                self.params.gap_open,
+                self.params.gap_extend,
+                cutoffs.x_drop_gapped,
+            )
+            accepted.append(gext)
+            boxes.setdefault(ext.seq_id, []).append(
+                (gext.box_query_start, gext.box_query_end,
+                 gext.box_subject_start, gext.box_subject_end)
+            )
+        return accepted, num_triggers
+
+    def phase_traceback(
+        self,
+        gapped: list[GappedExtension],
+        db: SequenceDatabase,
+        cutoffs: Cutoffs,
+    ) -> list[Alignment]:
+        """Phase 4: re-score with traceback, apply the E-value cutoff."""
+        seen: set[tuple[int, int, int, int, int]] = set()
+        out: list[Alignment] = []
+        db_residues = cutoffs.effective_db_residues or int(db.codes.size)
+        for gext in gapped:
+            if gext.score < cutoffs.report_cutoff:
+                continue
+            tb = traceback_align(
+                self.pssm,
+                self.query_codes,
+                db.sequence(gext.seq_id),
+                (
+                    gext.box_query_start,
+                    gext.box_query_end,
+                    gext.box_subject_start,
+                    gext.box_subject_end,
+                ),
+                self.params.gap_open,
+                self.params.gap_extend,
+            )
+            if tb is None:
+                continue
+            key = (gext.seq_id, tb.query_start, tb.query_end, tb.subject_start, tb.subject_end)
+            if key in seen:
+                continue
+            seen.add(key)
+            evalue = cutoffs.gapped.evalue(tb.score, self.query_length, db_residues)
+            if evalue > self.params.evalue:
+                continue
+            out.append(
+                Alignment(
+                    seq_id=gext.seq_id,
+                    subject_identifier=db.identifier(gext.seq_id),
+                    score=tb.score,
+                    bit_score=cutoffs.gapped.bit_score(tb.score),
+                    evalue=evalue,
+                    query_start=tb.query_start,
+                    query_end=tb.query_end,
+                    subject_start=tb.subject_start,
+                    subject_end=tb.subject_end,
+                    aligned_query=tb.aligned_query,
+                    aligned_subject=tb.aligned_subject,
+                    midline=tb.midline,
+                    identities=tb.identities,
+                    positives=tb.positives,
+                    gaps=tb.gaps,
+                )
+            )
+        out.sort(key=lambda a: (-a.score, a.seq_id, a.query_start, a.subject_start))
+        return out[: self.params.max_alignments]
+
+    def phase_ungapped_report(
+        self,
+        extensions: list[UngappedExtension],
+        db: SequenceDatabase,
+        cutoffs: Cutoffs,
+    ) -> list[Alignment]:
+        """Render ungapped HSPs directly (BLAST's ``-ungapped`` mode).
+
+        Replaces phases 3 and 4: extensions meeting the E-value threshold
+        under the *ungapped* Karlin-Altschul statistics become reported
+        alignments (no gap columns by construction).
+        """
+        from repro.alphabet import decode
+
+        db_residues = cutoffs.effective_db_residues or int(db.codes.size)
+        seen: set[tuple[int, int, int]] = set()
+        out: list[Alignment] = []
+        for ext in extensions:
+            evalue = cutoffs.ungapped.evalue(ext.score, self.query_length, db_residues)
+            if evalue > self.params.evalue:
+                continue
+            key = (ext.seq_id, ext.query_start, ext.subject_start)
+            if key in seen:
+                continue
+            seen.add(key)
+            q_seg = self.query_codes[ext.query_start : ext.query_end + 1]
+            s_seg = db.sequence(ext.seq_id)[ext.subject_start : ext.subject_end + 1]
+            midline = []
+            identities = positives = 0
+            for k, (a, b) in enumerate(zip(q_seg, s_seg)):
+                if a == b:
+                    identities += 1
+                    positives += 1
+                    midline.append(decode(np.array([a], dtype=np.uint8)))
+                elif int(self.pssm[b, ext.query_start + k]) > 0:
+                    positives += 1
+                    midline.append("+")
+                else:
+                    midline.append(" ")
+            out.append(
+                Alignment(
+                    seq_id=ext.seq_id,
+                    subject_identifier=db.identifier(ext.seq_id),
+                    score=ext.score,
+                    bit_score=cutoffs.ungapped.bit_score(ext.score),
+                    evalue=evalue,
+                    query_start=ext.query_start,
+                    query_end=ext.query_end,
+                    subject_start=ext.subject_start,
+                    subject_end=ext.subject_end,
+                    aligned_query=decode(q_seg),
+                    aligned_subject=decode(s_seg),
+                    midline="".join(midline),
+                    identities=identities,
+                    positives=positives,
+                    gaps=0,
+                )
+            )
+        out.sort(key=lambda a: (-a.score, a.seq_id, a.query_start, a.subject_start))
+        return out[: self.params.max_alignments]
+
+    # -- end-to-end --------------------------------------------------------
+
+    def search(self, db: SequenceDatabase) -> SearchResult:
+        """Run all four phases and assemble the result."""
+        result, _ = self.search_with_counts(db)
+        return result
+
+    def search_with_counts(self, db: SequenceDatabase) -> tuple[SearchResult, PhaseCounts]:
+        """Run all four phases and also return the per-phase work counts."""
+        cutoffs = self.cutoffs(db)
+        db_hits = self.phase_hit_detection(db)
+        extensions, num_seeds = self.phase_ungapped(db_hits, db, cutoffs)
+        if self.params.ungapped_only:
+            gapped, num_triggers = [], 0
+            alignments = self.phase_ungapped_report(extensions, db, cutoffs)
+        else:
+            gapped, num_triggers = self.phase_gapped(extensions, db, cutoffs)
+            alignments = self.phase_traceback(gapped, db, cutoffs)
+        counts = PhaseCounts(
+            num_hits=len(db_hits),
+            num_seeds=num_seeds,
+            num_ungapped_extensions=len(extensions),
+            num_gapped_triggers=num_triggers,
+            num_gapped_extensions=len(gapped),
+            num_traceback=len(gapped),
+            num_reported=len(alignments),
+        )
+        result = SearchResult(
+            query_length=self.query_length,
+            db_sequences=len(db),
+            db_residues=int(db.codes.size),
+            alignments=alignments,
+            num_hits=counts.num_hits,
+            num_seeds=counts.num_seeds,
+            num_ungapped_extensions=counts.num_ungapped_extensions,
+            num_gapped_extensions=counts.num_gapped_extensions,
+            num_reported=counts.num_reported,
+        )
+        return result, counts

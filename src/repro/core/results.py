@@ -1,0 +1,102 @@
+"""Result types produced by the BLASTP phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class UngappedExtension:
+    """Output of phase 2 for one triggered hit.
+
+    Coordinates are inclusive residue indices of the maximal-scoring
+    ungapped segment; ``subject_end - subject_start == query_end -
+    query_start`` always (no gaps by definition). Ordering is lexicographic
+    on the fields, giving a deterministic canonical order for
+    output-equality tests across implementations.
+    """
+
+    seq_id: int
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+    score: int
+
+    def __post_init__(self) -> None:
+        if self.subject_end - self.subject_start != self.query_end - self.query_start:
+            raise ValueError("ungapped extension must stay on one diagonal")
+
+    @property
+    def length(self) -> int:
+        """Number of aligned residue pairs."""
+        return self.subject_end - self.subject_start + 1
+
+    @property
+    def diagonal_offset(self) -> int:
+        """``subject_start - query_start`` (constant along the segment)."""
+        return self.subject_start - self.query_start
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A reported alignment after traceback (phase 4).
+
+    ``aligned_query``/``aligned_subject`` are equal-length strings using
+    ``-`` for gaps; ``midline`` marks identities (letter), positives
+    (``+``) and mismatches/gaps (space), like BLAST's pairwise output.
+    """
+
+    seq_id: int
+    subject_identifier: str
+    score: int
+    bit_score: float
+    evalue: float
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+    aligned_query: str
+    aligned_subject: str
+    midline: str
+    identities: int
+    positives: int
+    gaps: int
+
+    @property
+    def length(self) -> int:
+        """Alignment length including gap columns."""
+        return len(self.aligned_query)
+
+
+@dataclass
+class SearchResult:
+    """Complete output of one BLASTP search.
+
+    ``alignments`` is sorted by descending score (ties broken by
+    ``seq_id`` then coordinates, so ordering is deterministic); the phase
+    statistics feed both the performance models and the paper's
+    hit-survival claims.
+    """
+
+    query_length: int
+    db_sequences: int
+    db_residues: int
+    alignments: list[Alignment] = field(default_factory=list)
+    num_hits: int = 0
+    num_seeds: int = 0
+    num_ungapped_extensions: int = 0
+    num_gapped_extensions: int = 0
+    num_reported: int = 0
+
+    def best(self) -> Alignment | None:
+        """Highest-scoring alignment, or ``None`` when nothing was reported."""
+        return self.alignments[0] if self.alignments else None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"hits={self.num_hits} seeds={self.num_seeds} "
+            f"ungapped={self.num_ungapped_extensions} "
+            f"gapped={self.num_gapped_extensions} reported={self.num_reported}"
+        )

@@ -1,0 +1,179 @@
+"""Phase 4: alignment with traceback.
+
+Re-solves the affine-gap local DP inside the bounding box that the gapped
+extension reached, keeps the full ``H``/``E``/``F`` score matrices, and
+walks the optimal path backwards by score comparison (no pointer matrices:
+a cell's provenance is recoverable from the stored values, and a fixed
+precedence — diagonal, then vertical gap, then horizontal gap — makes the
+walk deterministic). This mirrors BLAST's design, where traceback is a
+separate, memory-hungrier pass run only for the few alignments that survive
+the score cutoffs, which is also why cuBLASTP leaves it on the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alphabet import GAP_CHAR, decode
+
+#: Minus infinity for int64 score arithmetic (same convention as gapped.py).
+_NEG = np.int64(-(2**40))
+
+
+@dataclass(frozen=True)
+class TracebackAlignment:
+    """A fully rendered local alignment.
+
+    Coordinates are inclusive and absolute (query/subject indices, not
+    box-relative). ``aligned_query`` and ``aligned_subject`` include
+    ``-`` gap characters; ``midline`` follows BLAST convention (residue for
+    identity, ``+`` for a positive substitution score, space otherwise).
+    """
+
+    score: int
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+    aligned_query: str
+    aligned_subject: str
+    midline: str
+    identities: int
+    positives: int
+    gaps: int
+
+    @property
+    def length(self) -> int:
+        """Alignment length including gap columns."""
+        return len(self.aligned_query)
+
+
+def traceback_align(
+    pssm: np.ndarray,
+    query_codes: np.ndarray,
+    subject_codes: np.ndarray,
+    box: tuple[int, int, int, int],
+    gap_open: int,
+    gap_extend: int,
+) -> TracebackAlignment | None:
+    """Optimal local alignment within ``box``.
+
+    Parameters
+    ----------
+    pssm:
+        Query PSSM.
+    query_codes, subject_codes:
+        Full encoded sequences (the box selects the active region).
+    box:
+        ``(query_start, query_end, subject_start, subject_end)`` inclusive
+        bounds, typically the reach of a gapped extension.
+    gap_open, gap_extend:
+        Affine penalties (positive numbers).
+
+    Returns
+    -------
+    TracebackAlignment or None
+        ``None`` when the box contains no positively scoring alignment.
+    """
+    qs, qe, ss, se = box
+    if not (0 <= qs <= qe < pssm.shape[1] and 0 <= ss <= se < subject_codes.size):
+        raise ValueError(f"box {box} out of bounds")
+    q = np.asarray(query_codes[qs : qe + 1], dtype=np.uint8)
+    s = np.asarray(subject_codes[ss : se + 1], dtype=np.uint8)
+    n, m = q.size, s.size
+    # Substitution scores for the box: sub[i, j] scores q[i] vs s[j].
+    sub = pssm[s[:, None], np.arange(qs, qe + 1)[None, :]].T.astype(np.int64)
+
+    go, ge = int(gap_open), int(gap_extend)
+    H = np.zeros((n + 1, m + 1), dtype=np.int64)
+    E = np.full((n + 1, m + 1), _NEG, dtype=np.int64)
+    F = np.full((n + 1, m + 1), _NEG, dtype=np.int64)
+    jj = np.arange(m + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        E[i, 1:] = np.maximum(H[i - 1, 1:] - go, E[i - 1, 1:] - ge)
+        diag = H[i - 1, :-1] + sub[i - 1]
+        g = np.maximum.reduce([np.zeros(m, dtype=np.int64), diag, E[i, 1:]])
+        # Horizontal gaps via the running-max unrolling (see gapped.py).
+        g_full = np.concatenate(([np.int64(0)], g))  # j = 0 column is 0
+        t = g_full + ge * jj
+        run = np.maximum.accumulate(t)
+        F[i, 1:] = run[:-1] - go - ge * (jj[1:] - 1)
+        H[i, 1:] = np.maximum(g, F[i, 1:])
+
+    best = int(H.max())
+    if best <= 0:
+        return None
+    bi, bj = np.unravel_index(int(np.argmax(H)), H.shape)
+    i, j = int(bi), int(bj)
+
+    aq: list[int] = []
+    asub: list[int] = []
+    state = "H"
+    end_i, end_j = i, j
+    while i > 0 and j > 0:
+        if state == "H":
+            if H[i, j] == 0:
+                break
+            if H[i, j] == H[i - 1, j - 1] + sub[i - 1, j - 1]:
+                aq.append(int(q[i - 1]))
+                asub.append(int(s[j - 1]))
+                i -= 1
+                j -= 1
+            elif H[i, j] == E[i, j]:
+                state = "E"
+            else:
+                state = "F"
+        elif state == "E":
+            aq.append(int(q[i - 1]))
+            asub.append(-1)
+            came_ext = E[i, j] == E[i - 1, j] - ge
+            i -= 1
+            state = "E" if came_ext else "H"
+        else:  # state == "F"
+            aq.append(-1)
+            asub.append(int(s[j - 1]))
+            came_ext = F[i, j] == F[i, j - 1] - ge
+            j -= 1
+            state = "F" if came_ext else "H"
+
+    aq.reverse()
+    asub.reverse()
+    aligned_query = "".join(
+        GAP_CHAR if c < 0 else decode(np.array([c], dtype=np.uint8)) for c in aq
+    )
+    aligned_subject = "".join(
+        GAP_CHAR if c < 0 else decode(np.array([c], dtype=np.uint8)) for c in asub
+    )
+    identities = positives = gaps = 0
+    midline_chars: list[str] = []
+    qpos = qs + i  # absolute query position of the next non-gap query column
+    for col, (ca, cb) in enumerate(zip(aq, asub)):
+        if ca < 0 or cb < 0:
+            gaps += 1
+            midline_chars.append(" ")
+        elif ca == cb:
+            identities += 1
+            positives += 1
+            midline_chars.append(aligned_query[col])
+        elif int(pssm[cb, qpos]) > 0:
+            positives += 1
+            midline_chars.append("+")
+        else:
+            midline_chars.append(" ")
+        if ca >= 0:
+            qpos += 1
+    return TracebackAlignment(
+        score=best,
+        query_start=qs + i,
+        query_end=qs + end_i - 1,
+        subject_start=ss + j,
+        subject_end=ss + end_j - 1,
+        aligned_query=aligned_query,
+        aligned_subject=aligned_subject,
+        midline="".join(midline_chars),
+        identities=identities,
+        positives=positives,
+        gaps=gaps,
+    )

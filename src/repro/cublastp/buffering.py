@@ -1,0 +1,103 @@
+"""Hierarchical buffering policy (§3.5).
+
+Two decisions are made per search:
+
+* **Scoring structure placement** — the PSSM costs 64 B per query column,
+  so it fits the 48-kB shared memory only for queries up to 768 residues;
+  beyond that the fixed 2-kB BLOSUM62 table (plus the query codes) goes to
+  shared memory instead, trading one extra load per scored pair for full
+  occupancy. ``matrix_mode="auto"`` applies exactly this policy; the
+  forced modes exist for the Fig. 15 sweep.
+* **DFA placement** — the small fixed-size state table is pinned in shared
+  memory, while the query-position lists live in global memory tagged
+  read-only so they ride the 48-kB read-only cache (Fig. 10); the cache can
+  be disabled for the Fig. 17 ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.matrices.pssm import pssm_memory_bytes
+
+
+class MatrixMode(enum.Enum):
+    """Which scoring structure the extension kernels read, and from where."""
+
+    #: PSSM resident in shared memory (short queries).
+    PSSM_SHARED = "pssm_shared"
+    #: PSSM in global memory through the read-only cache (long queries,
+    #: forced-PSSM mode only — "auto" never picks this).
+    PSSM_GLOBAL = "pssm_global"
+    #: BLOSUM62 table + query codes in shared memory.
+    BLOSUM_SHARED = "blosum_shared"
+
+
+@dataclass(frozen=True)
+class MatrixPlacement:
+    """Resolved placement and its shared-memory bill."""
+
+    mode: MatrixMode
+    shared_bytes: int
+    loads_per_score: int
+
+
+#: BLOSUM62 in shared memory: 32*32 padded entries at 2 bytes (§3.5's 2 kB).
+BLOSUM_SHARED_BYTES = 32 * 32 * 2
+
+
+#: "auto" keeps the PSSM in shared memory only while at least three blocks
+#: stay resident per SM (16 kB of the 48), i.e. queries up to ~256 residues.
+#: The hard §3.5 limit is 768 (the PSSM *fits* until then, and forced-PSSM
+#: mode uses it), but the paper's own measurements pick BLOSUM62 already at
+#: query517 because a resident PSSM that large starves occupancy — this
+#: threshold encodes that measured crossover.
+AUTO_PSSM_BUDGET = 16 * 1024
+
+
+def choose_matrix_placement(
+    matrix_mode: str,
+    query_length: int,
+    device: DeviceSpec,
+    reserve_bytes: int = 0,
+) -> MatrixPlacement:
+    """Resolve the §3.5 placement policy.
+
+    Parameters
+    ----------
+    matrix_mode:
+        ``"auto"``, ``"pssm"`` or ``"blosum"``.
+    query_length:
+        Query length in residues.
+    device:
+        Supplies the shared-memory budget.
+    reserve_bytes:
+        Shared memory the kernel needs for other structures; the PSSM must
+        fit alongside it.
+    """
+    pssm_bytes = pssm_memory_bytes(query_length)
+    budget = device.shared_mem_per_sm - reserve_bytes
+    pssm_fits = pssm_bytes <= budget
+    if matrix_mode == "auto":
+        mode = (
+            MatrixMode.PSSM_SHARED
+            if pssm_bytes <= min(AUTO_PSSM_BUDGET, budget)
+            else MatrixMode.BLOSUM_SHARED
+        )
+    elif matrix_mode == "pssm":
+        mode = MatrixMode.PSSM_SHARED if pssm_fits else MatrixMode.PSSM_GLOBAL
+    else:
+        mode = MatrixMode.BLOSUM_SHARED
+    if mode is MatrixMode.PSSM_SHARED:
+        return MatrixPlacement(mode=mode, shared_bytes=pssm_bytes, loads_per_score=1)
+    if mode is MatrixMode.PSSM_GLOBAL:
+        return MatrixPlacement(mode=mode, shared_bytes=0, loads_per_score=1)
+    # BLOSUM62 needs the query residue code (one load) then the matrix
+    # entry (a second load) — Fig. 2(c)'s extra memory access.
+    return MatrixPlacement(
+        mode=MatrixMode.BLOSUM_SHARED,
+        shared_bytes=BLOSUM_SHARED_BYTES + query_length,
+        loads_per_score=2,
+    )

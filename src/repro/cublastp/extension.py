@@ -1,0 +1,101 @@
+"""Extension-phase driver: launches the configured strategy kernel.
+
+Allocates the device-side seed list and output buffers, runs one of
+Algorithms 3-5, and normalises the output: hit-based results go through
+the host-side de-duplication pass (§3.4), so all three strategies return
+the *same* extension set — the property that lets Fig. 16 compare their
+performance at equal output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import UngappedExtension
+from repro.cublastp.config import ExtensionMode
+from repro.cublastp.ext_common import ExtensionOutput, read_extensions
+from repro.cublastp.ext_diagonal import DiagonalExtensionKernel
+from repro.cublastp.ext_hit import HitExtensionKernel, dedup_hit_based
+from repro.cublastp.ext_window import WindowExtensionKernel
+from repro.cublastp.filter_kernel import SeedList
+from repro.cublastp.hit_detection_kernel import _alloc_unique
+from repro.cublastp.session import DeviceSession
+from repro.gpusim.kernel import launch
+from repro.gpusim.profiler import KernelProfile
+
+
+def run_extension(
+    session: DeviceSession,
+    seeds: SeedList,
+    x_drop: int,
+    word_length: int,
+    mode: ExtensionMode | None = None,
+) -> tuple[list[UngappedExtension], KernelProfile]:
+    """Run the ungapped-extension phase on the device.
+
+    Returns the de-duplicated extensions in canonical order plus the
+    kernel profile.
+    """
+    cfg = session.config
+    mode = mode or cfg.extension_mode
+    mem = session.ctx.memory
+    n_seeds = len(seeds)
+
+    seed_buf = _alloc_unique(mem, "seed_list", max(1, n_seeds))
+    seed_buf.data[:n_seeds] = seeds.packed
+    group_buf = _alloc_unique(mem, "seed_groups", max(2, seeds.group_offsets.size))
+    group_buf.data[: seeds.group_offsets.size] = seeds.group_offsets
+    out_cap = max(1, n_seeds)  # every strategy emits at most one record/seed
+    _alloc_unique(mem, "ext_out_a", out_cap)
+    _alloc_unique(mem, "ext_out_b", out_cap)
+    counter = _alloc_unique(mem, "ext_count", 1)
+
+    if mode is ExtensionMode.DIAGONAL:
+        kernel = DiagonalExtensionKernel(session, seeds, x_drop, word_length)
+    elif mode is ExtensionMode.HIT:
+        kernel = HitExtensionKernel(session, seeds, x_drop, word_length)
+    else:
+        kernel = WindowExtensionKernel(session, seeds, x_drop, word_length)
+
+    if n_seeds == 0:
+        profile = KernelProfile(name=kernel.name, device=session.device)
+        return [], profile
+    # Work-proportional grid: launching far more warps than work items
+    # would charge every extra block its shared-memory staging (PSSM /
+    # BLOSUM copy-in) for nothing. Each warp grid-strides through several
+    # rounds of work, so the staging cost amortises the way it does on
+    # production-scale databases.
+    rounds = 4
+    dev = session.device
+    warps_per_block = kernel.block_threads // dev.warp_size
+    if mode is ExtensionMode.WINDOW:
+        slots_per_warp = dev.warp_size // (2 * cfg.window_size)
+        warps_needed = -(-seeds.num_groups // max(1, slots_per_warp))
+    elif mode is ExtensionMode.DIAGONAL:
+        warps_needed = -(-seeds.num_groups // dev.warp_size)
+    else:
+        warps_needed = -(-n_seeds // dev.warp_size)
+    grid_cap = max(1, -(-warps_needed // (warps_per_block * rounds)))
+    profile = launch(kernel, session.ctx, grid_blocks=min(grid_cap, 16 * dev.num_sms))
+
+    if mode is ExtensionMode.HIT:
+        counter.data[0] = n_seeds  # per-seed slots, no cursor
+        raw = read_extensions(session, seeds.query_length)
+        keep = dedup_hit_based(seeds.packed, raw.subject_end)
+        profile.extra["redundant_extensions"] = int(n_seeds - keep.sum())
+        raw = ExtensionOutput(
+            seq_id=raw.seq_id[keep],
+            query_start=raw.query_start[keep],
+            query_end=raw.query_end[keep],
+            subject_start=raw.subject_start[keep],
+            subject_end=raw.subject_end[keep],
+            score=raw.score[keep],
+        )
+    else:
+        raw = read_extensions(session, seeds.query_length)
+
+    extensions = raw.to_extensions()
+    profile.extra["num_extensions"] = len(extensions)
+    #: Bytes the pipeline ships back to the host for the CPU phases.
+    profile.extra["d2h_bytes"] = len(extensions) * 16
+    return extensions, profile

@@ -1,0 +1,165 @@
+"""Hit filtering (Fig. 6c): drop hits that cannot seed an extension.
+
+After sorting, each bin segment holds its hits in (sequence, diagonal,
+subject position) order, so a hit's candidate predecessors sit immediately
+to its left. A thread per hit scans backwards while the left neighbour is
+on the same diagonal and within the two-hit window; the hit survives when
+a predecessor at distance ``>= W`` is found (the two-hit rule pinned in
+:mod:`repro.core.two_hit`). The scan is at most ``W - 1`` steps past the
+overlapping run, so the divergence the paper accepts here is bounded —
+and, per §3.3, the 5-11 % survival ratio makes the extra kernel a win.
+
+Surviving hits are then stream-compacted (order-preserving, a CUB-style
+primitive charged analytically) into the seed list, together with the
+diagonal segment boundaries the extension kernels consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cublastp.binning import BinnedHits, unpack_hits
+from repro.cublastp.session import DeviceSession
+from repro.gpusim.kernel import Kernel, KernelContext, launch
+from repro.gpusim.profiler import KernelProfile
+from repro.gpusim.shared import SharedMemory
+from repro.gpusim.warp import Warp
+
+
+@dataclass
+class SeedList:
+    """Filtered seeds in diagonal-major order.
+
+    Attributes
+    ----------
+    packed:
+        Surviving bin elements, global order preserved (so hits of one
+        diagonal are contiguous and ascending by subject position).
+    group_offsets:
+        CSR boundaries of the (sequence, diagonal) groups.
+    query_length:
+        For recovering query positions.
+    """
+
+    packed: np.ndarray
+    group_offsets: np.ndarray
+    query_length: int
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.group_offsets.size - 1)
+
+    def __len__(self) -> int:
+        return int(self.packed.size)
+
+
+class HitFilterKernel(Kernel):
+    """Thread-per-hit two-hit filtering over the sorted, assembled buffer."""
+
+    name = "hit_filtering"
+    block_threads = 128
+    registers_per_thread = 24
+
+    def __init__(self, session: DeviceSession, word_length: int, window: int) -> None:
+        self.session = session
+        self.word_length = word_length
+        self.window = window
+
+    def run_warp(self, ctx: KernelContext, warp: Warp, block_id: int, warp_in_block: int) -> None:
+        hits = ctx.memory.buffers["sorted_hits"]
+        flags = ctx.memory.buffers["seed_flags"]
+        total = ctx.params["num_hits"]
+        dev = ctx.device
+        i = warp.warp_id * dev.warp_size + warp.lane_id
+        stride = warp.num_warps * dev.warp_size
+        for _ in warp.loop_while(lambda: i < total):
+            ii = np.minimum(i, total - 1)
+            h = warp.load(hits, ii)
+            warp.alu(2)  # unpack (seq, diag) key and subject position
+            key = h >> 16  # seq | diag — identical iff same group
+            spos = h & 0xFFFF
+            is_seed = np.zeros(dev.warp_size, dtype=bool)
+            done = np.zeros(dev.warp_size, dtype=bool)
+            k = np.ones(dev.warp_size, dtype=np.int64)
+            for _ in warp.loop_while(lambda: ~done):
+                jprev = ii - k
+                oob = jprev < 0
+                p = warp.load(hits, np.maximum(jprev, 0))
+                warp.alu(3)  # unpack + distance/window comparisons
+                pkey = p >> 16
+                pspos = p & 0xFFFF
+                dist = spos - pspos
+                same = (pkey == key) & ~oob & (dist <= self.window)
+                found = same & (dist >= self.word_length)
+                is_seed |= found & warp.active
+                done |= (~same | found)
+                k += 1
+            warp.store(flags, ii, is_seed.astype(np.int8))
+            i += stride
+
+
+def run_filter(
+    session: DeviceSession,
+    sorted_binned: BinnedHits,
+    word_length: int,
+    window: int,
+) -> tuple[SeedList, KernelProfile]:
+    """Launch the filter kernel and compact the surviving seeds.
+
+    The compaction (order-preserving scan + scatter, a CUB primitive) is
+    charged onto the same profile: one pass reading flags and writing the
+    survivors.
+    """
+    if not sorted_binned.is_sorted:
+        raise ValueError("filter requires sorted bins")
+    mem = session.ctx.memory
+    dev = session.device
+    from repro.cublastp.hit_detection_kernel import _alloc_unique
+
+    hits_buf = _alloc_unique(mem, "sorted_hits", max(1, len(sorted_binned)))
+    hits_buf.data[: len(sorted_binned)] = sorted_binned.packed
+    flags_buf = _alloc_unique(mem, "seed_flags", max(1, len(sorted_binned)), np.int8)
+    session.ctx.params["num_hits"] = len(sorted_binned)
+
+    kernel = HitFilterKernel(session, word_length, window)
+    if len(sorted_binned) == 0:
+        profile = KernelProfile(name=kernel.name, device=dev)
+        empty = SeedList(
+            packed=np.zeros(0, dtype=np.int64),
+            group_offsets=np.zeros(1, dtype=np.int64),
+            query_length=sorted_binned.query_length,
+        )
+        return empty, profile
+    profile = launch(kernel, session.ctx)
+
+    flags = flags_buf.data[: len(sorted_binned)].astype(bool)
+    seeds = sorted_binned.packed[flags]
+    # Compaction cost: stream flags + hits in, survivors out.
+    n = len(sorted_binned)
+    line = dev.cache_line_bytes
+    tx = -(-n * 9 // line) + -(-int(seeds.size) * 8 // line)
+    profile.global_transactions += tx
+    profile.global_requested_bytes += n * 9 + int(seeds.size) * 8
+    profile.issue_cycles += tx * dev.global_tx_cycles + n // dev.warp_size
+
+    # Diagonal group boundaries of the seed list ((seq, diag) changes).
+    if seeds.size:
+        keys = seeds >> 16
+        change = np.nonzero(np.diff(keys))[0] + 1
+        group_offsets = np.concatenate(
+            ([0], change, [seeds.size])
+        ).astype(np.int64)
+    else:
+        group_offsets = np.zeros(1, dtype=np.int64)
+    profile.extra["num_seeds"] = int(seeds.size)
+    profile.extra["survival_ratio"] = float(seeds.size) / max(1, n)
+    return (
+        SeedList(
+            packed=seeds,
+            group_offsets=group_offsets,
+            query_length=sorted_binned.query_length,
+        ),
+        profile,
+    )

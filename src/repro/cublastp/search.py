@@ -1,0 +1,102 @@
+"""Public cuBLASTP search API.
+
+:class:`CuBlastp` is what a downstream user calls::
+
+    from repro import CuBlastp, CuBlastpConfig, SequenceDatabase
+
+    searcher = CuBlastp("MKTAYIAKQR...")           # the query
+    result = searcher.search(db)                    # identical to FSA-BLAST
+    result, report = searcher.search_with_report(db)  # + timing/profiles
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import BlastpPipeline
+from repro.core.results import SearchResult
+from repro.core.statistics import SearchParams
+from repro.cublastp.config import CuBlastpConfig
+from repro.cublastp.pipeline import CuBlastpReport, run_cublastp
+from repro.cublastp.session import DeviceSession
+from repro.gpusim.device import DeviceSpec, K20C
+from repro.io.database import SequenceDatabase
+from repro.seeding.dfa import QueryDFA
+
+
+class CuBlastp:
+    """Fine-grained BLASTP searcher for one query.
+
+    Parameters
+    ----------
+    query:
+        Query sequence (residue string or encoded array).
+    params:
+        BLASTP search parameters (word length, thresholds, gaps, E-value).
+    config:
+        cuBLASTP execution configuration (bins, extension strategy,
+        buffering, CPU threads).
+    device:
+        Simulated GPU (defaults to the paper's K20c).
+
+    The search result is guaranteed identical to
+    :class:`repro.core.BlastpPipeline` — the paper's closing claim — and
+    the test suite enforces it.
+    """
+
+    def __init__(
+        self,
+        query: str | np.ndarray,
+        params: SearchParams | None = None,
+        config: CuBlastpConfig | None = None,
+        device: DeviceSpec = K20C,
+    ) -> None:
+        self.pipe = BlastpPipeline(query, params)
+        if self.pipe.params.word_length != 3:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                "the GPU kernels implement the BLASTP W=3 word path "
+                "(packed indices, DFA layout); use BlastpPipeline / "
+                "FsaBlast for other word sizes"
+            )
+        self.config = config or CuBlastpConfig()
+        self.device = device
+        self.dfa = QueryDFA(self.pipe.lookup.neighborhood)
+
+    @property
+    def query_length(self) -> int:
+        return self.pipe.query_length
+
+    def make_session(self, db: SequenceDatabase) -> DeviceSession:
+        """Upload this search's structures for ``db`` (one device context)."""
+        return DeviceSession(
+            self.pipe.query_codes,
+            self.dfa,
+            db,
+            self.config,
+            self.pipe.params.matrix,
+            self.device,
+        )
+
+    def search(self, db: SequenceDatabase) -> SearchResult:
+        """Search ``db`` and return alignments (drops the timing report)."""
+        result, _ = self.search_with_report(db)
+        return result
+
+    def search_with_report(self, db: SequenceDatabase) -> tuple[SearchResult, CuBlastpReport]:
+        """Search ``db`` returning alignments plus the full timing report."""
+        session = self.make_session(db)
+        alignments, report = run_cublastp(self.pipe, db, session, self.config)
+        result = SearchResult(
+            query_length=self.query_length,
+            db_sequences=len(db),
+            db_residues=int(db.codes.size),
+            alignments=alignments,
+            num_hits=report.gpu.num_hits,
+            num_seeds=report.gpu.num_seeds,
+            num_ungapped_extensions=len(report.gpu.extensions),
+            num_gapped_extensions=len(report.cpu.gapped_extensions),
+            num_reported=len(alignments),
+        )
+        return result, report

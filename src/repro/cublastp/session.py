@@ -1,0 +1,137 @@
+"""Device session: buffer setup shared by every cuBLASTP GPU kernel.
+
+One :class:`DeviceSession` corresponds to one search's device state: the
+packed database, the DFA split across the memory hierarchy (state table ->
+shared at block setup; word entries and position lists -> read-only-cached
+global memory), the scoring structure, and the working buffers the kernels
+hand to each other. It also records the host-to-device byte volume the
+pipeline model charges to PCIe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cublastp.buffering import MatrixPlacement, choose_matrix_placement
+from repro.cublastp.config import CuBlastpConfig
+from repro.gpusim.device import DeviceSpec, K20C
+from repro.gpusim.kernel import KernelContext
+from repro.gpusim.memory import MemorySpace
+from repro.io.database import SequenceDatabase
+from repro.matrices.blosum import ScoringMatrix
+from repro.matrices.pssm import build_pssm
+from repro.seeding.dfa import QueryDFA
+from repro.seeding.words import Neighborhood
+
+#: Bit split of a packed DFA word entry: position-list offset << 20 | count.
+WORD_ENTRY_SHIFT = 20
+WORD_ENTRY_COUNT_MASK = (1 << WORD_ENTRY_SHIFT) - 1
+
+
+def pack_word_entries(neighborhood: Neighborhood) -> np.ndarray:
+    """Pack each word's (offset, count) into one int64 — one load per word.
+
+    The count always fits 20 bits (a word matches at most ``query_length``
+    positions); offsets are bounded by the total neighbourhood size.
+    """
+    offsets = neighborhood.offsets[:-1].astype(np.int64)
+    counts = np.diff(neighborhood.offsets).astype(np.int64)
+    if counts.size and int(counts.max()) > WORD_ENTRY_COUNT_MASK:
+        raise ValueError("position-list count exceeds the packed entry field")
+    return (offsets << WORD_ENTRY_SHIFT) | counts
+
+
+class DeviceSession:
+    """Device-resident state of one cuBLASTP search.
+
+    Parameters
+    ----------
+    query_codes:
+        Encoded query.
+    dfa:
+        The query's DFA (state table + neighbourhood position lists).
+    db:
+        Subject database (uploaded packed).
+    config:
+        cuBLASTP configuration.
+    matrix:
+        Scoring matrix (for the BLOSUM-in-shared placement).
+    device:
+        Simulated device (defaults to the K20c).
+    """
+
+    def __init__(
+        self,
+        query_codes: np.ndarray,
+        dfa: QueryDFA,
+        db: SequenceDatabase,
+        config: CuBlastpConfig,
+        matrix: ScoringMatrix,
+        device: DeviceSpec = K20C,
+    ) -> None:
+        self.device = device
+        self.config = config
+        self.db = db
+        self.dfa = dfa
+        self.query_codes = np.asarray(query_codes, dtype=np.uint8)
+        self.query_length = int(self.query_codes.size)
+        self.ctx = KernelContext(
+            device=device,
+            use_readonly_cache=config.use_readonly_cache,
+            use_l2=config.use_l2,
+        )
+
+        mem = self.ctx.memory
+        # Database: packed codes + offsets. Scanned start-to-end by warps in
+        # lane order, so plain global memory (coalesced by construction).
+        self.db_codes = mem.alloc("db_codes", db.codes.astype(np.uint8))
+        self.db_offsets = mem.alloc("db_offsets", db.offsets.astype(np.int64))
+
+        # DFA split (Fig. 10): word entries + position lists are read-only
+        # cached; the state table is copied to shared memory per block.
+        entries = pack_word_entries(dfa.neighborhood)
+        self.word_entries = mem.alloc("dfa_word_entries", entries, MemorySpace.READONLY)
+        self.positions = mem.alloc(
+            "dfa_positions", dfa.positions.astype(np.int32), MemorySpace.READONLY
+        )
+        #: Shared-memory DFA state table: one int64 record per state holding
+        #: the state's base index into the word-entry table (Cameron's
+        #: per-state word-block pointer). State ``s`` owns the contiguous
+        #: word block ``[s * A, (s + 1) * A)``.
+        words_per_state = self.word_entries.data.size // dfa.num_states
+        self.dfa_state_records = (
+            np.arange(dfa.num_states, dtype=np.int64) * words_per_state
+        )
+
+        # Scoring structure. PSSM layout is column-major 32-row padded
+        # (64 B per query position, §3.5): flat index = qpos * 32 + code.
+        pssm = build_pssm(self.query_codes, matrix)
+        padded = np.zeros((self.query_length, 32), dtype=np.int16)
+        padded[:, : pssm.shape[0]] = pssm.T
+        self.pssm_padded = padded  # host copy, global layout (stride 32)
+        self.pssm_buf = mem.alloc("pssm", padded.reshape(-1), MemorySpace.READONLY)
+        # Shared-memory copies use a 33-column stride: the odd stride
+        # spreads same-row accesses across banks (the classic padding
+        # trick), killing the conflicts a power-of-two stride guarantees.
+        self.pssm_shared = np.zeros((self.query_length, 33), dtype=np.int16)
+        self.pssm_shared[:, :32] = padded
+        blosum_padded = np.zeros((32, 32), dtype=np.int16)
+        blosum_padded[: matrix.scores.shape[0], : matrix.scores.shape[1]] = matrix.scores
+        self.blosum_padded = blosum_padded
+        self.blosum_shared = np.zeros((32, 33), dtype=np.int16)
+        self.blosum_shared[:, :32] = blosum_padded
+        self.query_buf = mem.alloc("query_codes", self.query_codes, MemorySpace.READONLY)
+
+        self.placement: MatrixPlacement = choose_matrix_placement(
+            config.matrix_mode, self.query_length, device
+        )
+
+        #: Host-to-device upload volume for the PCIe model.
+        self.h2d_bytes = (
+            self.db_codes.nbytes
+            + self.db_offsets.nbytes
+            + self.word_entries.nbytes
+            + self.positions.nbytes
+            + self.pssm_buf.nbytes
+            + self.query_buf.nbytes
+        )

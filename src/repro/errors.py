@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+Everything raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SequenceError(ReproError):
+    """Invalid sequence content or encoding."""
+
+
+class FastaFormatError(ReproError):
+    """Malformed FASTA input."""
+
+
+class ConfigError(ReproError):
+    """Invalid search or simulator configuration."""
+
+
+class GpuSimError(ReproError):
+    """Violation of the simulated device's execution or memory model."""
+
+
+class ResourceExceededError(GpuSimError):
+    """A kernel asked for more of a device resource than exists.
+
+    Raised, for example, when a block's shared-memory request exceeds the
+    per-SM shared memory, mirroring a CUDA launch failure.
+    """

@@ -1,0 +1,49 @@
+"""A functional SIMT GPU simulator with a cycle-level cost model.
+
+This package is the paper's "NVIDIA Kepler K20c" substitute (DESIGN.md §2).
+Kernels are written against a :class:`~repro.gpusim.warp.Warp` API — 32-lane
+numpy vectors with an explicit divergence mask stack — and executed warp by
+warp. The simulator derives, from the kernel's *actual behaviour on actual
+data*:
+
+* issue cycles (divergent branches execute both paths, so serialisation
+  cost emerges rather than being estimated);
+* global-memory transactions via 128-byte coalescing analysis, and the
+  load efficiency NVIDIA's profiler would report;
+* read-only-cache hits/misses (48-kB LRU over 128-byte lines);
+* shared-memory bank conflicts (32 four-byte banks);
+* atomic serialisation;
+* occupancy, from the same register/shared-memory/block arithmetic as the
+  CUDA occupancy calculator.
+
+Elapsed time is modelled, not measured: see
+:meth:`~repro.gpusim.profiler.KernelProfile.elapsed_ms` for the formula and
+:class:`~repro.gpusim.device.DeviceSpec` for the K20c constants.
+"""
+
+from repro.gpusim.device import K20C, DeviceSpec
+from repro.gpusim.kernel import Kernel, KernelContext, launch
+from repro.gpusim.memory import GlobalBuffer, MemorySpace
+from repro.gpusim.cache import ReadOnlyCache
+from repro.gpusim.occupancy import OccupancyResult, occupancy
+from repro.gpusim.profiler import KernelProfile
+from repro.gpusim.shared import SharedMemory
+from repro.gpusim.transfer import TransferModel
+from repro.gpusim.warp import Warp
+
+__all__ = [
+    "K20C",
+    "DeviceSpec",
+    "GlobalBuffer",
+    "Kernel",
+    "KernelContext",
+    "KernelProfile",
+    "MemorySpace",
+    "OccupancyResult",
+    "ReadOnlyCache",
+    "SharedMemory",
+    "TransferModel",
+    "Warp",
+    "launch",
+    "occupancy",
+]

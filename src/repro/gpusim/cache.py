@@ -1,0 +1,101 @@
+"""Read-only data cache (Kepler's 48-kB texture-path cache).
+
+Buffers allocated in :class:`~repro.gpusim.memory.MemorySpace.READONLY`
+space — the simulator's equivalent of tagging a pointer ``const
+__restrict__`` — are read through this cache. It is a set-associative LRU
+over 128-byte lines; hits cost :attr:`DeviceSpec.readonly_hit_cycles`
+instead of a global transaction, which is the entire effect Fig. 17
+measures.
+
+Kepler has one such cache per SM; since the engine executes warps serially
+it simulates a single cache of one SM's capacity, warmed per kernel launch.
+That underestimates aggregate capacity (13 caches on the real chip) but
+the hit *ratio* of the reuse-heavy structures cuBLASTP stores there (DFA
+position lists, PSSM) is capacity-insensitive once the working set fits,
+which is the regime the paper exploits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.gpusim.device import DeviceSpec
+
+
+class ReadOnlyCache:
+    """Set-associative LRU cache of 128-byte lines.
+
+    Parameters
+    ----------
+    device:
+        Supplies capacity and line size.
+    ways:
+        Associativity (default 4, matching the texture cache's behaviour
+        closely enough for hit-ratio modelling).
+    """
+
+    def __init__(self, device: DeviceSpec, ways: int = 4) -> None:
+        self.line_bytes = device.cache_line_bytes
+        num_lines = device.readonly_cache_bytes // self.line_bytes
+        self.ways = ways
+        self.num_sets = max(1, num_lines // ways)
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        """Invalidate all lines and zero the counters."""
+        for s in self._sets:
+            s.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def access_lines(self, line_ids: "set[int] | list[int]") -> tuple[int, int]:
+        """Probe a set of line ids (one warp access), LRU-updating each.
+
+        Returns
+        -------
+        (hits, misses) for this access.
+        """
+        hits = misses = 0
+        for line in line_ids:
+            s = self._sets[line % self.num_sets]
+            if line in s:
+                s.move_to_end(line)
+                hits += 1
+            else:
+                misses += 1
+                s[line] = None
+                if len(s) > self.ways:
+                    s.popitem(last=False)
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def make_l2_cache(device: DeviceSpec, ways: int = 16) -> ReadOnlyCache:
+    """An L2-sized set-associative LRU for the optional L2 model.
+
+    Same mechanics as the read-only cache, sized to
+    :attr:`DeviceSpec.l2_bytes`. The default timing model deliberately
+    omits L2 (DESIGN.md §5b documents the resulting bias against
+    scattered-access kernels); enabling it via
+    ``KernelContext(use_l2=True)`` quantifies that bias —
+    ``benchmarks/bench_ablation_l2.py``.
+    """
+    cache = ReadOnlyCache.__new__(ReadOnlyCache)
+    cache.line_bytes = device.cache_line_bytes
+    num_lines = device.l2_bytes // device.cache_line_bytes
+    cache.ways = ways
+    cache.num_sets = max(1, num_lines // ways)
+    cache._sets = [OrderedDict() for _ in range(cache.num_sets)]
+    cache.hits = 0
+    cache.misses = 0
+    return cache

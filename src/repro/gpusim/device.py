@@ -1,0 +1,70 @@
+"""Device specification: the hardware constants of the simulated GPU.
+
+Defaults model the NVIDIA Tesla K20c (Kepler GK110) the paper evaluates on.
+Where a constant feeds the timing model rather than the functional model it
+is documented with its derivation, so the model is auditable end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Simulated device parameters.
+
+    Functional parameters
+    ---------------------
+    ``warp_size``, ``shared_mem_per_sm``, ``readonly_cache_bytes``,
+    ``cache_line_bytes``, ``shared_banks``, ``max_threads_per_sm``,
+    ``max_blocks_per_sm``, ``registers_per_sm`` shape what kernels may do
+    and the occupancy calculation.
+
+    Timing parameters
+    -----------------
+    ``clock_ghz`` converts cycles to time. ``global_tx_cycles`` is the
+    amortised issue cost of one 128-byte global transaction per SM, derived
+    from bandwidth: the K20c sustains ~208 GB/s over 13 SMs at 0.706 GHz,
+    i.e. ~22.7 bytes/cycle/SM, so a 128-byte transaction occupies the
+    memory path for ~5.6 cycles — rounded to 6. ``readonly_hit_cycles``
+    and ``shared_cycles`` are per-access issue costs; ``atomic_cycles`` is
+    the per-serialised-update cost of a shared-memory atomic.
+    """
+
+    name: str = "Tesla K20c (simulated)"
+    num_sms: int = 13
+    warp_size: int = 32
+    warp_schedulers_per_sm: int = 4
+    clock_ghz: float = 0.706
+    mem_bandwidth_gbps: float = 208.0
+    shared_mem_per_sm: int = 48 * 1024
+    readonly_cache_bytes: int = 48 * 1024
+    cache_line_bytes: int = 128
+    shared_banks: int = 32
+    shared_bank_bytes: int = 4
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 16
+    max_threads_per_block: int = 1024
+    registers_per_sm: int = 65536
+    global_tx_cycles: int = 6
+    readonly_hit_cycles: int = 1
+    shared_cycles: int = 1
+    atomic_cycles: int = 4
+    #: Per-update cost of a *global* atomic: on Kepler these round-trip
+    #: through L2 and serialise device-wide on hot addresses, costing an
+    #: order of magnitude more than shared-memory atomics.
+    global_atomic_cycles: int = 48
+    #: L2 cache capacity (K20c: 1.25 MB) and the per-line hit cost used
+    #: when the optional L2 model is enabled (see KernelContext.use_l2).
+    l2_bytes: int = 1280 * 1024
+    l2_hit_cycles: int = 2
+    device_memory_bytes: int = 5 * 1024**3
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert issue cycles to milliseconds at the device clock."""
+        return cycles / (self.clock_ghz * 1e9) * 1e3
+
+
+#: The paper's evaluation GPU.
+K20C = DeviceSpec()

@@ -1,0 +1,81 @@
+"""CUDA occupancy calculation.
+
+Achieved occupancy — resident warps per SM over the hardware maximum — is
+one of the three profiler metrics Fig. 19 compares, and the mechanism
+behind Fig. 14's hit-detection slowdown at high bin counts (bigger shared
+``top`` arrays limit resident blocks). The arithmetic below follows the
+CUDA occupancy calculator: resident blocks are the minimum over the block,
+thread, register, and shared-memory limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpusim.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resident-block computation for one kernel configuration."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float
+    limited_by: str
+
+
+def occupancy(
+    device: DeviceSpec,
+    block_threads: int,
+    shared_bytes_per_block: int,
+    registers_per_thread: int = 32,
+) -> OccupancyResult:
+    """Occupancy for a kernel configuration on ``device``.
+
+    Parameters
+    ----------
+    block_threads:
+        Threads per block (rounded up to whole warps internally).
+    shared_bytes_per_block:
+        Static + dynamic shared memory per block.
+    registers_per_thread:
+        Register footprint (kernels in this repo declare a nominal value).
+    """
+    if block_threads <= 0 or block_threads > device.max_threads_per_block:
+        raise ConfigError(
+            f"block of {block_threads} threads invalid "
+            f"(max {device.max_threads_per_block})"
+        )
+    if shared_bytes_per_block > device.shared_mem_per_sm:
+        raise ConfigError(
+            f"block needs {shared_bytes_per_block} B shared memory; "
+            f"SM has {device.shared_mem_per_sm}"
+        )
+    warps_per_block = -(-block_threads // device.warp_size)
+    rounded_threads = warps_per_block * device.warp_size
+
+    limits = {
+        "blocks": device.max_blocks_per_sm,
+        "threads": device.max_threads_per_sm // rounded_threads,
+        "registers": device.registers_per_sm
+        // max(1, registers_per_thread * rounded_threads),
+        "shared": (
+            device.shared_mem_per_sm // shared_bytes_per_block
+            if shared_bytes_per_block > 0
+            else device.max_blocks_per_sm
+        ),
+    }
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiter])
+    if blocks == 0:
+        raise ConfigError("kernel configuration fits zero blocks per SM")
+    warps = blocks * warps_per_block
+    max_warps = device.max_threads_per_sm // device.warp_size
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=min(warps, max_warps),
+        occupancy=min(1.0, warps / max_warps),
+        limited_by=limiter,
+    )

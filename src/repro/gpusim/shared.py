@@ -1,0 +1,73 @@
+"""Per-block shared memory with bank-conflict accounting.
+
+Shared memory is modelled as named regions inside one block-sized
+allocation. Accesses are charged :attr:`DeviceSpec.shared_cycles` plus
+replay cycles when multiple active lanes hit different addresses in the
+same 4-byte bank — the standard Kepler 32-bank rule (broadcasts of the
+*same* address are free, as on hardware).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ResourceExceededError
+from repro.gpusim.device import DeviceSpec
+
+
+class SharedMemory:
+    """One block's shared memory: named numpy regions + conflict model."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self._device = device
+        self._regions: dict[str, np.ndarray] = {}
+        self._offsets: dict[str, int] = {}
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def alloc(self, name: str, size: int, dtype: np.dtype | type = np.int32) -> np.ndarray:
+        """Reserve a region; raises when the block exceeds the SM's 48 kB."""
+        if name in self._regions:
+            raise ResourceExceededError(f"shared region {name!r} already allocated")
+        arr = np.zeros(size, dtype=dtype)
+        if self._used + arr.nbytes > self._device.shared_mem_per_sm:
+            raise ResourceExceededError(
+                f"shared memory request for {name!r} exceeds "
+                f"{self._device.shared_mem_per_sm} bytes per block "
+                f"({self._used} already used, {arr.nbytes} requested)"
+            )
+        self._offsets[name] = self._used
+        self._used += int(arr.nbytes)
+        self._regions[name] = arr
+        return arr
+
+    def alloc_from(self, name: str, data: np.ndarray) -> np.ndarray:
+        """Reserve a region initialised with a copy of ``data``."""
+        arr = self.alloc(name, int(np.asarray(data).reshape(-1).size), np.asarray(data).dtype)
+        arr[:] = np.asarray(data).reshape(-1)
+        return arr
+
+    def region(self, name: str) -> np.ndarray:
+        return self._regions[name]
+
+    def conflict_cycles(self, name: str, indices: np.ndarray) -> int:
+        """Extra replay cycles of one warp access to region ``name``.
+
+        Cost model: lanes touching distinct addresses within one bank
+        serialise; lanes reading the same address broadcast. The charge is
+        ``max_per_bank - 1`` replays.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size <= 1:
+            return 0
+        arr = self._regions[name]
+        byte_addr = self._offsets[name] + idx * arr.itemsize
+        banks = (byte_addr // self._device.shared_bank_bytes) % self._device.shared_banks
+        # Distinct addresses per bank: same-address lanes broadcast.
+        pairs = np.unique(np.stack([banks, byte_addr], axis=1), axis=0)
+        counts = np.bincount(pairs[:, 0].astype(np.int64), minlength=self._device.shared_banks)
+        worst = int(counts.max()) if counts.size else 1
+        return max(0, worst - 1)

@@ -1,0 +1,42 @@
+"""PCIe transfer model.
+
+cuBLASTP streams database blocks to the GPU and extension results back,
+overlapped with computation (Fig. 12). Real PCIe measurement is out of
+scope (DESIGN.md §6); transfers are modelled as fixed launch latency plus
+bytes over effective bandwidth — the standard first-order model, and
+accurate enough for the overlap bookkeeping of Fig. 19(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Host<->device copy timing.
+
+    Attributes
+    ----------
+    bandwidth_gbps:
+        Effective PCIe throughput (PCIe 2.0 x16 sustains ~6-8 GB/s for
+        pinned memory; 8 is the paper-era optimistic figure).
+    latency_us:
+        Per-copy launch/driver latency.
+    """
+
+    bandwidth_gbps: float = 8.0
+    latency_us: float = 10.0
+
+    def h2d_ms(self, nbytes: int) -> float:
+        """Host-to-device copy time in milliseconds."""
+        return self._ms(nbytes)
+
+    def d2h_ms(self, nbytes: int) -> float:
+        """Device-to-host copy time in milliseconds."""
+        return self._ms(nbytes)
+
+    def _ms(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency_us / 1e3 + nbytes / (self.bandwidth_gbps * 1e9) * 1e3

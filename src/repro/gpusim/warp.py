@@ -1,0 +1,395 @@
+"""The warp execution engine: 32 lanes, a divergence mask stack, counters.
+
+Kernels in this repo are written *per warp*: lane-local values are numpy
+arrays of shape ``(32,)`` and control flow that would diverge on hardware
+is expressed through :meth:`Warp.where` (predicated blocks) and
+:meth:`Warp.loop_while` (divergent loops). The engine executes exactly what
+a SIMT machine would: a divergent branch runs both paths with complementary
+masks, so its serialisation cost lands in the cycle counters without any
+estimation.
+
+Cost convention
+---------------
+Every call below that represents a device instruction charges at least one
+issue slot and records the active lane count. Pure numpy arithmetic on lane
+arrays between calls is *not* automatically charged; kernels follow the
+documented convention of calling :meth:`Warp.alu` once per pseudo-code
+statement they execute, keeping instruction counts comparable across the
+implementations being benchmarked (all kernels in this repo are written at
+the same granularity — that uniformity, not absolute instruction fidelity,
+is what the paper's relative claims need).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import GpuSimError
+from repro.gpusim.cache import ReadOnlyCache
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import GlobalBuffer, MemorySpace, coalesce_transactions
+from repro.gpusim.profiler import KernelProfile
+from repro.gpusim.shared import SharedMemory
+
+
+def _as_lanes(value, n: int) -> np.ndarray:
+    """Lane-shape a value: scalars fan out, (n,) arrays pass through."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return np.full(n, arr.item(), dtype=arr.dtype if arr.dtype != object else None)
+    return arr
+
+#: Hard iteration ceiling for divergent loops: generous for real kernels,
+#: small enough to catch accidental infinite loops quickly.
+_LOOP_LIMIT = 1_000_000
+
+
+class Warp:
+    """One warp's execution context.
+
+    Parameters
+    ----------
+    device, profile, shared, cache:
+        Engine plumbing: hardware constants, the accumulating profile, the
+        block's shared memory, and the (possibly disabled) read-only cache.
+    warp_id:
+        Global warp index (``blockIdx * warpsPerBlock + warpInBlock``).
+    num_warps:
+        Total warps in the grid — the stride of grid-stride loops.
+    use_readonly_cache:
+        When ``False``, READONLY buffers take the plain global path
+        (Fig. 17's ablation).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        profile: KernelProfile,
+        shared: SharedMemory,
+        cache: ReadOnlyCache,
+        warp_id: int,
+        num_warps: int,
+        use_readonly_cache: bool = True,
+        l2: "ReadOnlyCache | None" = None,
+    ) -> None:
+        self.device = device
+        self.profile = profile
+        self.shared = shared
+        self.cache = cache
+        self.warp_id = warp_id
+        self.num_warps = num_warps
+        self.use_readonly_cache = use_readonly_cache
+        #: Optional L2 model (None = default timing, misses cost full
+        #: transactions; see gpusim.cache.make_l2_cache).
+        self.l2 = l2
+        self.lane_id = np.arange(device.warp_size, dtype=np.int64)
+        self._mask_stack: list[np.ndarray] = [
+            np.ones(device.warp_size, dtype=bool)
+        ]
+        self._count_stack: list[int] = [device.warp_size]
+
+    # -- masks and control flow --------------------------------------------
+
+    @property
+    def active(self) -> np.ndarray:
+        """Current active-lane mask (top of the divergence stack)."""
+        return self._mask_stack[-1]
+
+    def any_active(self) -> bool:
+        return bool(self.active.any())
+
+    def _charge(self, cycles: int = 1) -> None:
+        self.profile.instructions += 1
+        self.profile.active_lane_slots += self._count_stack[-1]
+        self.profile.issue_cycles += cycles
+
+    def alu(self, n: int = 1) -> None:
+        """Charge ``n`` ALU warp instructions at the current mask."""
+        for _ in range(n):
+            self._charge(1)
+
+    @contextmanager
+    def where(self, cond: np.ndarray) -> Iterator[None]:
+        """Execute a block with lanes masked by ``cond``.
+
+        Counts a divergent branch when only part of the currently active
+        lanes take the block. An if/else pair is written as two ``where``
+        blocks with complementary conditions — both paths issue
+        instructions, exactly like SIMT serialisation.
+        """
+        cond = np.asarray(cond, dtype=bool) & self.active
+        n_cond = int(cond.sum())
+        self._charge(1)  # the predicate evaluation / branch instruction
+        if 0 < n_cond < self._count_stack[-1]:
+            self.profile.divergent_branches += 1
+        self._mask_stack.append(cond)
+        self._count_stack.append(n_cond)
+        try:
+            yield
+        finally:
+            self._mask_stack.pop()
+            self._count_stack.pop()
+
+    def loop_while(self, cond_fn: Callable[[], np.ndarray]) -> Iterator[int]:
+        """Divergent loop: iterate while any active lane's condition holds.
+
+        Lanes whose condition is false are masked off but the warp keeps
+        issuing until every lane finishes — the load-imbalance effect the
+        paper's Fig. 4 illustrates. Yields the iteration index.
+        """
+        iteration = 0
+        while True:
+            cond = np.asarray(cond_fn(), dtype=bool) & self.active
+            self._charge(1)  # condition evaluation
+            n_cond = int(cond.sum())
+            if n_cond == 0:
+                return
+            if n_cond < self._count_stack[-1]:
+                self.profile.divergent_branches += 1
+            self._mask_stack.append(cond)
+            self._count_stack.append(n_cond)
+            try:
+                yield iteration
+            finally:
+                self._mask_stack.pop()
+                self._count_stack.pop()
+            iteration += 1
+            if iteration > _LOOP_LIMIT:  # pragma: no cover - debugging aid
+                raise GpuSimError("divergent loop exceeded iteration limit")
+
+    # -- global memory -------------------------------------------------------
+
+    def load(self, buf: GlobalBuffer, idx: np.ndarray, fill: int = 0) -> np.ndarray:
+        """Gather ``buf[idx]`` for active lanes (inactive lanes get ``fill``).
+
+        Charges coalescing-derived transaction cycles, or read-only-cache
+        probe cycles for READONLY buffers when the cache is enabled.
+        """
+        idx = _as_lanes(idx, self.device.warp_size).astype(np.int64, copy=False)
+        act = self.active
+        n_active = self._count_stack[-1]
+        cost = 1
+        if n_active == self.device.warp_size:
+            buf.check_bounds(idx)
+            out = buf.data[idx]
+            ai = idx
+            addrs = buf.byte_addresses(ai)
+        elif n_active:
+            ai = idx[act]
+            buf.check_bounds(ai)
+            out = np.full(self.device.warp_size, fill, dtype=buf.data.dtype)
+            out[act] = buf.data[ai]
+            addrs = buf.byte_addresses(ai)
+        else:
+            out = np.full(self.device.warp_size, fill, dtype=buf.data.dtype)
+        if n_active:
+            if buf.space is MemorySpace.READONLY and self.use_readonly_cache:
+                first = addrs // self.device.cache_line_bytes
+                last = (addrs + buf.itemsize - 1) // self.device.cache_line_bytes
+                lines = set(first.tolist()) | set(last.tolist())
+                hits, misses = self.cache.access_lines(lines)
+                self.profile.readonly_hits += hits
+                self.profile.readonly_misses += misses
+                cost += hits * self.device.readonly_hit_cycles
+                cost += misses * self.device.global_tx_cycles
+            else:
+                tx = coalesce_transactions(addrs, buf.itemsize, self.device.cache_line_bytes)
+                req = n_active * buf.itemsize
+                self.profile.global_transactions += tx
+                self.profile.global_requested_bytes += req
+                self.profile.global_load_transactions += tx
+                self.profile.global_load_requested_bytes += req
+                cost += self._global_cost(addrs, buf.itemsize, tx)
+        self._charge(cost)
+        return out
+
+    def _global_cost(self, addrs: np.ndarray, itemsize: int, tx: int) -> int:
+        """Cycle cost of a global access: full transactions, or L2-probed
+        when the optional L2 model is enabled."""
+        if self.l2 is None:
+            return tx * self.device.global_tx_cycles
+        line = self.device.cache_line_bytes
+        first = addrs // line
+        last = (addrs + itemsize - 1) // line
+        lines = set(first.tolist()) | set(last.tolist())
+        hits, misses = self.l2.access_lines(lines)
+        return hits * self.device.l2_hit_cycles + misses * self.device.global_tx_cycles
+
+    def load_span(self, buf: GlobalBuffer, start: int, count: int) -> np.ndarray:
+        """Warp-cooperative load of ``count`` consecutive elements.
+
+        Models the standard tiling idiom (each lane loads a wide-word slice
+        of a contiguous tile, values then exchanged through registers or
+        shuffles): the whole span is fetched in one instruction at full
+        coalescing. Returns the span's values; subsequent per-lane reads of
+        the returned tile are register traffic and should be charged as ALU
+        by the caller.
+        """
+        if count <= 0:
+            return np.zeros(0, dtype=buf.data.dtype)
+        idx = np.arange(start, start + count, dtype=np.int64)
+        buf.check_bounds(idx)
+        addrs = buf.byte_addresses(idx[[0, -1]])
+        first = addrs[0] // self.device.cache_line_bytes
+        last = (addrs[1] + buf.itemsize - 1) // self.device.cache_line_bytes
+        tx = int(last - first + 1)
+        req = count * buf.itemsize
+        self.profile.global_transactions += tx
+        self.profile.global_requested_bytes += req
+        self.profile.global_load_transactions += tx
+        self.profile.global_load_requested_bytes += req
+        self._charge(1 + tx * self.device.global_tx_cycles)
+        return buf.data[idx].copy()
+
+    def store(self, buf: GlobalBuffer, idx: np.ndarray, values: np.ndarray) -> None:
+        """Scatter ``values`` to ``buf[idx]`` for active lanes.
+
+        Lanes writing the same address resolve in ascending lane order
+        (last writer wins), which is a *defined* outcome rather than
+        hardware's undefined one — determinism matters more to this
+        simulator than modelling a race.
+        """
+        if buf.space is MemorySpace.READONLY:
+            raise GpuSimError(f"store to read-only buffer {buf.name!r}")
+        idx = _as_lanes(idx, self.device.warp_size).astype(np.int64, copy=False)
+        values = _as_lanes(values, self.device.warp_size)
+        act = self.active
+        n_active = int(act.sum())
+        cost = 1
+        if n_active:
+            ai = idx[act]
+            buf.check_bounds(ai)
+            buf.data[ai] = values[act].astype(buf.data.dtype)
+            addrs = buf.byte_addresses(ai)
+            tx = coalesce_transactions(addrs, buf.itemsize, self.device.cache_line_bytes)
+            req = n_active * buf.itemsize
+            self.profile.global_transactions += tx
+            self.profile.global_requested_bytes += req
+            self.profile.global_store_transactions += tx
+            self.profile.global_store_requested_bytes += req
+            cost += self._global_cost(addrs, buf.itemsize, tx)
+        self._charge(cost)
+
+    def atomic_add_global(self, buf: GlobalBuffer, idx: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Global-memory atomicAdd; returns the pre-add values per lane.
+
+        Charged at :attr:`DeviceSpec.global_atomic_cycles` per same-address
+        pile-up — global atomics round-trip through L2, which is why
+        GPU-BLASTP's two-level output buffering (one atomic per sequence
+        instead of per extension) pays off.
+        """
+        return self._atomic_add(buf.data, idx, values, self.device.global_atomic_cycles, buf)
+
+    # -- shared memory -------------------------------------------------------
+
+    def load_shared(self, name: str, idx: np.ndarray, fill: int = 0) -> np.ndarray:
+        """Gather from a shared region with bank-conflict charging."""
+        region = self.shared.region(name)
+        idx = _as_lanes(idx, self.device.warp_size).astype(np.int64, copy=False)
+        act = self.active
+        out = np.full(self.device.warp_size, fill, dtype=region.dtype)
+        cost = self.device.shared_cycles
+        if act.any():
+            self._check_shared_bounds(name, idx[act])
+            out[act] = region[idx[act]]
+            conflicts = self.shared.conflict_cycles(name, idx[act])
+            self.profile.shared_conflict_cycles += conflicts
+            cost += conflicts
+        self.profile.shared_accesses += 1
+        self._charge(cost)
+        return out
+
+    def store_shared(self, name: str, idx: np.ndarray, values: np.ndarray) -> None:
+        """Scatter to a shared region (ascending-lane-order resolution)."""
+        region = self.shared.region(name)
+        idx = _as_lanes(idx, self.device.warp_size).astype(np.int64, copy=False)
+        values = _as_lanes(values, self.device.warp_size)
+        act = self.active
+        cost = self.device.shared_cycles
+        if act.any():
+            self._check_shared_bounds(name, idx[act])
+            region[idx[act]] = values[act].astype(region.dtype)
+            conflicts = self.shared.conflict_cycles(name, idx[act])
+            self.profile.shared_conflict_cycles += conflicts
+            cost += conflicts
+        self.profile.shared_accesses += 1
+        self._charge(cost)
+
+    def atomic_add_shared(self, name: str, idx: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Shared-memory atomicAdd; returns pre-add values per lane.
+
+        Same-address updates serialise; the charge is ``atomic_cycles`` per
+        deepest same-address pile-up, matching how shared atomics replay.
+        """
+        region = self.shared.region(name)
+        return self._atomic_add(region, idx, values, self.device.atomic_cycles, None, name)
+
+    def _check_shared_bounds(self, name: str, idx: np.ndarray) -> None:
+        region = self.shared.region(name)
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= region.size):
+            raise GpuSimError(
+                f"shared region {name!r}: index out of bounds "
+                f"[{int(idx.min())}, {int(idx.max())}] vs size {region.size}"
+            )
+
+    def _atomic_add(
+        self,
+        target: np.ndarray,
+        idx: np.ndarray,
+        values: np.ndarray,
+        unit_cycles: int,
+        buf: GlobalBuffer | None,
+        shared_name: str | None = None,
+    ) -> np.ndarray:
+        idx = _as_lanes(idx, self.device.warp_size).astype(np.int64, copy=False)
+        values = _as_lanes(values, self.device.warp_size)
+        act = self.active
+        old = np.zeros(self.device.warp_size, dtype=target.dtype)
+        cost = 1
+        n_active = int(act.sum())
+        if n_active:
+            ai = idx[act]
+            if buf is not None:
+                buf.check_bounds(ai)
+            elif shared_name is not None:
+                self._check_shared_bounds(shared_name, ai)
+            # Deterministic serialisation in ascending lane order.
+            for lane in np.nonzero(act)[0]:
+                old[lane] = target[idx[lane]]
+                target[idx[lane]] += values[lane]
+            worst = int(np.unique(ai, return_counts=True)[1].max()) if ai.size else 0
+            cost += unit_cycles * worst
+            self.profile.atomic_ops += n_active
+            self.profile.atomic_serial_cycles += unit_cycles * worst
+        self._charge(cost)
+        return old
+
+    # -- warp-level primitives ------------------------------------------------
+
+    def inclusive_scan(self, values: np.ndarray) -> np.ndarray:
+        """Inclusive prefix sum across lanes (inactive lanes contribute 0).
+
+        Models the CUB/shuffle-based scan: log2(32) = 5 issue slots.
+        """
+        values = np.where(self.active, np.asarray(values, dtype=np.int64), 0)
+        self.alu(5)
+        return np.cumsum(values)
+
+    def reduce_max(self, values: np.ndarray, neutral: int = -(2**60)) -> int:
+        """Warp-wide max over active lanes (5 shuffle steps)."""
+        values = np.where(self.active, np.asarray(values, dtype=np.int64), neutral)
+        self.alu(5)
+        return int(values.max()) if self.active.any() else neutral
+
+    def ballot(self, cond: np.ndarray) -> np.ndarray:
+        """Active-lane vote: boolean array of lanes where ``cond`` holds."""
+        self.alu(1)
+        return np.asarray(cond, dtype=bool) & self.active
+
+    def shfl(self, values: np.ndarray, src_lane: int) -> np.ndarray:
+        """Broadcast ``values[src_lane]`` to every lane (one shuffle)."""
+        self.alu(1)
+        return np.full(self.device.warp_size, np.asarray(values)[src_lane])

@@ -1,0 +1,30 @@
+"""Sequence input/output: FASTA parsing, packed databases, synthetic workloads."""
+
+from repro.io.database import DatabaseStats, SequenceDatabase
+from repro.io.fasta import FastaRecord, read_fasta, read_fasta_file, write_fasta
+from repro.io.report import format_pairwise, summary_table, tabular_line, write_tabular
+from repro.io.workloads import (
+    WorkloadSpec,
+    generate_database,
+    generate_query,
+    standard_queries,
+    standard_workloads,
+)
+
+__all__ = [
+    "DatabaseStats",
+    "FastaRecord",
+    "SequenceDatabase",
+    "WorkloadSpec",
+    "format_pairwise",
+    "generate_database",
+    "generate_query",
+    "read_fasta",
+    "read_fasta_file",
+    "standard_queries",
+    "standard_workloads",
+    "summary_table",
+    "tabular_line",
+    "write_fasta",
+    "write_tabular",
+]

@@ -1,0 +1,212 @@
+"""Packed sequence database.
+
+A :class:`SequenceDatabase` stores all subject sequences in one contiguous
+``uint8`` code array plus a CSR-style offset table. This is the layout the
+GPU kernels scan (coalesced, position-indexed) and the layout FSA-BLAST
+iterates, so both the simulator and the CPU reference share one source of
+truth for subject data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.alphabet import decode, encode
+from repro.errors import SequenceError
+from repro.io.fasta import FastaRecord
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """Summary statistics of a database, as the paper reports for its inputs."""
+
+    num_sequences: int
+    total_residues: int
+    mean_length: float
+    max_length: int
+    min_length: int
+
+
+class SequenceDatabase:
+    """An immutable collection of encoded subject sequences.
+
+    Parameters
+    ----------
+    codes:
+        Concatenated ``uint8`` residue codes of every sequence.
+    offsets:
+        ``int64`` array of length ``num_sequences + 1``; sequence ``i``
+        occupies ``codes[offsets[i]:offsets[i+1]]``.
+    identifiers:
+        Optional per-sequence identifiers (defaults to ``seq{i}``).
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        offsets: np.ndarray,
+        identifiers: Sequence[str] | None = None,
+    ) -> None:
+        codes = np.ascontiguousarray(codes, dtype=np.uint8)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size < 1:
+            raise SequenceError("offsets must be a 1-D array with at least one entry")
+        if offsets[0] != 0 or offsets[-1] != codes.size:
+            raise SequenceError("offsets must start at 0 and end at len(codes)")
+        if np.any(np.diff(offsets) <= 0):
+            raise SequenceError("empty sequences are not allowed in a database")
+        self._codes = codes
+        self._offsets = offsets
+        n = offsets.size - 1
+        if identifiers is None:
+            identifiers = [f"seq{i}" for i in range(n)]
+        if len(identifiers) != n:
+            raise SequenceError(f"{len(identifiers)} identifiers for {n} sequences")
+        self._identifiers = list(identifiers)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_strings(cls, sequences: Iterable[str], identifiers: Sequence[str] | None = None) -> "SequenceDatabase":
+        """Build a database from residue strings."""
+        encoded = [encode(s) for s in sequences]
+        if not encoded:
+            raise SequenceError("database must contain at least one sequence")
+        offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+        np.cumsum([len(e) for e in encoded], out=offsets[1:])
+        codes = np.concatenate(encoded) if encoded else np.zeros(0, dtype=np.uint8)
+        return cls(codes, offsets, identifiers)
+
+    @classmethod
+    def from_records(cls, records: Iterable[FastaRecord]) -> "SequenceDatabase":
+        """Build a database from parsed FASTA records."""
+        records = list(records)
+        return cls.from_strings(
+            [r.sequence for r in records], [r.identifier for r in records]
+        )
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Concatenated residue codes (read-only view)."""
+        view = self._codes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """CSR offsets (read-only view)."""
+        view = self._offsets.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def identifiers(self) -> list[str]:
+        return list(self._identifiers)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Length of each sequence."""
+        return np.diff(self._offsets)
+
+    def __len__(self) -> int:
+        return self._offsets.size - 1
+
+    def sequence(self, index: int) -> np.ndarray:
+        """Residue codes of sequence ``index`` (zero-copy view)."""
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._codes[self._offsets[index] : self._offsets[index + 1]]
+
+    def sequence_str(self, index: int) -> str:
+        """Residue string of sequence ``index``."""
+        return decode(self.sequence(index))
+
+    def identifier(self, index: int) -> str:
+        return self._identifiers[index]
+
+    def stats(self) -> DatabaseStats:
+        """Compute summary statistics."""
+        lengths = self.lengths
+        return DatabaseStats(
+            num_sequences=len(self),
+            total_residues=int(self._codes.size),
+            mean_length=float(lengths.mean()),
+            max_length=int(lengths.max()),
+            min_length=int(lengths.min()),
+        )
+
+    # -- transformations ---------------------------------------------------
+
+    def sorted_by_length(self, descending: bool = True) -> "SequenceDatabase":
+        """Return a copy with sequences ordered by length.
+
+        CUDA-BLASTP pre-sorts the database by sequence length to improve the
+        load balance of its one-thread-per-sequence kernel; that baseline
+        calls this before launching.
+        """
+        order = np.argsort(self.lengths, kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.subset(order)
+
+    def subset(self, indices: np.ndarray) -> "SequenceDatabase":
+        """Return a new database containing ``indices`` in the given order."""
+        indices = np.asarray(indices, dtype=np.int64)
+        parts = [self.sequence(int(i)) for i in indices]
+        offsets = np.zeros(len(parts) + 1, dtype=np.int64)
+        np.cumsum([len(p) for p in parts], out=offsets[1:])
+        codes = np.concatenate(parts)
+        idents = [self._identifiers[int(i)] for i in indices]
+        return SequenceDatabase(codes, offsets, idents)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the packed database to ``path`` (.npz).
+
+        The binary form (codes + offsets + identifiers) reloads without
+        re-encoding — the role makeblastdb's volumes play for BLAST.
+        """
+        np.savez_compressed(
+            path,
+            codes=self._codes,
+            offsets=self._offsets,
+            identifiers=np.array(self._identifiers, dtype=object),
+        )
+
+    @classmethod
+    def load(cls, path) -> "SequenceDatabase":
+        """Reload a database written by :meth:`save`."""
+        with np.load(path, allow_pickle=True) as data:
+            return cls(
+                data["codes"],
+                data["offsets"],
+                [str(x) for x in data["identifiers"]],
+            )
+
+    def blocks(self, num_blocks: int) -> list["SequenceDatabase"]:
+        """Split into ``num_blocks`` contiguous, residue-balanced blocks.
+
+        The CPU/GPU pipeline (Fig. 12) streams the database in blocks; the
+        split balances total residues, not sequence counts, so per-block
+        kernel time stays roughly even.
+        """
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        num_blocks = min(num_blocks, len(self))
+        target = self._codes.size / num_blocks
+        bounds = [0]
+        for b in range(1, num_blocks):
+            cut = int(np.searchsorted(self._offsets, b * target))
+            cut = min(max(cut, bounds[-1] + 1), len(self) - (num_blocks - b))
+            bounds.append(cut)
+        bounds.append(len(self))
+        return [
+            self.subset(np.arange(bounds[b], bounds[b + 1]))
+            for b in range(num_blocks)
+        ]

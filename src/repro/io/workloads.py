@@ -1,0 +1,206 @@
+"""Synthetic workload generation.
+
+The paper evaluates on NCBI ``swissprot`` (~300 k sequences, mean length 370)
+and ``env_nr`` (~6 M sequences, mean length ~200) with query sequences of
+length 127, 517 and 1054. Those databases are not available offline, so this
+module generates statistical stand-ins (see DESIGN.md §2):
+
+* residues are sampled from the Robinson-Robinson background composition, so
+  word-hit statistics (hits per subject word, filter survival ratio) match
+  real protein data;
+* sequence lengths follow a log-normal distribution fitted to each
+  database's reported mean;
+* a shared *domain library* is implanted — mutated — into both the queries
+  and a fraction of subjects, so ungapped extensions, gapped extensions and
+  full tracebacks genuinely occur, exercising all four BLASTP phases.
+
+All generation is deterministic given the spec's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.alphabet import background_frequencies, decode
+from repro.io.database import SequenceDatabase
+
+#: Codes of the 20 standard residues (mutations never introduce B/Z/X/*).
+_STANDARD_CODES = np.arange(20, dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic database.
+
+    Attributes
+    ----------
+    name:
+        Workload name, e.g. ``"swissprot_mini"``.
+    num_sequences:
+        Number of subject sequences to generate.
+    mean_length:
+        Target mean sequence length (log-normal location is fitted to it).
+    length_sigma:
+        Log-normal shape parameter; ~0.45 matches protein databases.
+    homolog_fraction:
+        Fraction of subjects that carry at least one implanted domain.
+        The default (2 %) keeps the gapped-extension phase at the same
+        small share of total work as real NCBI databases show (Fig. 11's
+        13 % gapped / 5 % traceback profile for FSA-BLAST); raising it
+        makes homolog-dense workloads for the examples.
+    num_domains:
+        Size of the shared domain library.
+    mutation_rate:
+        Per-residue substitution probability applied to implanted domains.
+    seed:
+        Master seed; the domain library and every sequence derive from it.
+    """
+
+    name: str
+    num_sequences: int
+    mean_length: int
+    length_sigma: float = 0.45
+    homolog_fraction: float = 0.02
+    num_domains: int = 12
+    mutation_rate: float = 0.25
+    seed: int = 20140519  # IPDPS 2014 conference date
+    #: Residue count of the real database this workload stands in for;
+    #: searches pass it as ``SearchParams.effective_db_residues`` so
+    #: E-value cutoffs behave as they would at the paper's scale.
+    emulated_residues: int = 110_000_000
+
+    @property
+    def search_params_kwargs(self) -> dict:
+        """Keyword arguments wiring this workload into ``SearchParams``."""
+        return {"effective_db_residues": self.emulated_residues}
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """Return a copy with the sequence count scaled by ``factor``."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return replace(self, num_sequences=max(1, int(round(self.num_sequences * factor))))
+
+
+def _sample_background(rng: np.random.Generator, length: int) -> np.ndarray:
+    """Sample ``length`` residue codes from the Robinson background."""
+    probs = background_frequencies()
+    return rng.choice(len(probs), size=length, p=probs).astype(np.uint8)
+
+
+def _domain_library(spec: WorkloadSpec) -> list[np.ndarray]:
+    """The conserved domains shared between queries and homologous subjects."""
+    rng = np.random.default_rng(spec.seed ^ 0xD0AA11)
+    lengths = rng.integers(30, 80, size=spec.num_domains)
+    return [_sample_background(rng, int(n)) for n in lengths]
+
+
+def _mutate(rng: np.random.Generator, domain: np.ndarray, rate: float) -> np.ndarray:
+    """Apply point substitutions and an occasional short indel to a domain."""
+    out = domain.copy()
+    mask = rng.random(out.size) < rate
+    out[mask] = rng.choice(_STANDARD_CODES, size=int(mask.sum()))
+    # One short indel in ~40% of implants: exercises gapped extension.
+    if rng.random() < 0.4 and out.size > 12:
+        pos = int(rng.integers(3, out.size - 6))
+        gap = int(rng.integers(1, 4))
+        if rng.random() < 0.5:
+            out = np.delete(out, slice(pos, pos + gap))
+        else:
+            out = np.insert(out, pos, rng.choice(_STANDARD_CODES, size=gap))
+    return out
+
+
+def _implant(rng: np.random.Generator, seq: np.ndarray, piece: np.ndarray) -> np.ndarray:
+    """Overwrite a random window of ``seq`` with ``piece`` (truncated to fit)."""
+    if piece.size >= seq.size:
+        piece = piece[: max(1, seq.size - 2)]
+    start = int(rng.integers(0, seq.size - piece.size + 1))
+    seq = seq.copy()
+    seq[start : start + piece.size] = piece
+    return seq
+
+
+def generate_database(spec: WorkloadSpec) -> SequenceDatabase:
+    """Generate the synthetic database described by ``spec``."""
+    rng = np.random.default_rng(spec.seed)
+    domains = _domain_library(spec)
+    # Fit the log-normal location so that E[length] == mean_length.
+    mu = np.log(spec.mean_length) - spec.length_sigma**2 / 2.0
+    lengths = rng.lognormal(mean=mu, sigma=spec.length_sigma, size=spec.num_sequences)
+    lengths = np.clip(lengths.round().astype(np.int64), 20, 36805)
+    sequences: list[np.ndarray] = []
+    for n in lengths:
+        seq = _sample_background(rng, int(n))
+        if rng.random() < spec.homolog_fraction:
+            for _ in range(int(rng.integers(1, 3))):
+                dom = domains[int(rng.integers(0, len(domains)))]
+                seq = _implant(rng, seq, _mutate(rng, dom, spec.mutation_rate))
+        sequences.append(seq)
+    offsets = np.zeros(len(sequences) + 1, dtype=np.int64)
+    np.cumsum([len(s) for s in sequences], out=offsets[1:])
+    codes = np.concatenate(sequences)
+    idents = [f"{spec.name}|{i}" for i in range(len(sequences))]
+    return SequenceDatabase(codes, offsets, idents)
+
+
+def generate_query(length: int, spec: WorkloadSpec, query_seed: int = 0) -> str:
+    """Generate a query of exactly ``length`` residues sharing ``spec``'s domains.
+
+    The query embeds several lightly mutated library domains, so it is a
+    genuine homolog of the planted subjects — searches return real
+    alignments rather than only chance hits.
+    """
+    if length < 20:
+        raise ValueError("query length must be at least 20")
+    rng = np.random.default_rng(spec.seed ^ (0xBEEF + query_seed) ^ length)
+    domains = _domain_library(spec)
+    seq = _sample_background(rng, length)
+    num_implants = max(1, length // 160)
+    for _ in range(num_implants):
+        dom = domains[int(rng.integers(0, len(domains)))]
+        seq = _implant(rng, seq, _mutate(rng, dom, rate=0.08))
+    assert seq.size == length
+    return decode(seq)
+
+
+def standard_queries(spec: WorkloadSpec) -> dict[str, str]:
+    """The paper's three query regimes: short (127), medium (517), long (1054)."""
+    return {
+        f"query{n}": generate_query(n, spec, query_seed=i)
+        for i, n in enumerate((127, 517, 1054))
+    }
+
+
+def standard_workloads(scale: float = 1.0) -> dict[str, WorkloadSpec]:
+    """Sandbox-sized stand-ins for the paper's two databases.
+
+    ``scale=1.0`` gives 400 swissprot-like and 1200 env_nr-like sequences —
+    a deliberate reduction from 300 k / 6 M (DESIGN.md §2). The *relative*
+    character of the two databases (env_nr: many short sequences; swissprot:
+    fewer, longer ones) is preserved, which is what the cross-database
+    comparisons in Fig. 18 depend on.
+    """
+    specs = {
+        "swissprot_mini": WorkloadSpec(
+            name="swissprot_mini",
+            num_sequences=400,
+            mean_length=370,
+            emulated_residues=110_000_000,  # swissprot: 150 MB
+            # Homologs are rare in real search (tens per 100 M residues);
+            # keeping them rare preserves the phase balance of Fig. 11.
+            homolog_fraction=0.008,
+        ),
+        "env_nr_mini": WorkloadSpec(
+            name="env_nr_mini",
+            num_sequences=1200,
+            mean_length=200,
+            seed=20140520,
+            emulated_residues=1_250_000_000,  # env_nr: 1.7 GB, ~6 M seqs
+            homolog_fraction=0.005,
+        ),
+    }
+    if scale != 1.0:
+        specs = {k: v.scaled(scale) for k, v in specs.items()}
+    return specs

@@ -1,0 +1,115 @@
+"""Substitution matrices.
+
+:data:`BLOSUM62` is the standard NCBI matrix, stored in the row/column order
+of :data:`repro.alphabet.ALPHABET` (``ARNDCQEGHILKMFPSTWYVBZX*``). It is the
+only matrix the paper evaluates; :func:`match_mismatch_matrix` exists for
+tests and toy examples where hand-checkable scores are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.alphabet import ALPHABET, ALPHABET_SIZE
+
+_BLOSUM62_TABLE = """
+A  4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0 -4
+R -1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1 -4
+N -2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1 -4
+D -2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1 -4
+C  0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+Q -1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1 -4
+E -1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+G  0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -4
+H -2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1 -4
+I -1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1 -4
+L -1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1 -4
+K -1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1 -4
+M -1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1 -4
+F -2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1 -4
+P -1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+S  1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0 -4
+T  0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0 -4
+W -3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2 -4
+Y -2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1 -4
+V  0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1 -4
+B -2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1 -4
+Z -1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+X  0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1 -4
+* -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+
+def _parse_table(text: str) -> np.ndarray:
+    rows: dict[str, list[int]] = {}
+    for line in text.strip().splitlines():
+        parts = line.split()
+        rows[parts[0]] = [int(v) for v in parts[1:]]
+    matrix = np.zeros((ALPHABET_SIZE, ALPHABET_SIZE), dtype=np.int16)
+    for i, letter in enumerate(ALPHABET):
+        row = rows[letter]
+        if len(row) != ALPHABET_SIZE:
+            raise ValueError(f"row {letter!r} has {len(row)} entries")
+        matrix[i, :] = row
+    return matrix
+
+
+@dataclass(frozen=True)
+class ScoringMatrix:
+    """A substitution matrix plus the metadata BLAST needs alongside it.
+
+    Attributes
+    ----------
+    name:
+        Display name (``"BLOSUM62"``).
+    scores:
+        ``int16`` array of shape ``(ALPHABET_SIZE, ALPHABET_SIZE)`` indexed by
+        residue codes. ``int16`` matches the 2-byte element size the paper
+        uses when budgeting shared memory (1024 elements -> 2 kB).
+    gap_open:
+        Default affine gap-open penalty (cost of the first gapped residue).
+    gap_extend:
+        Default affine gap-extension penalty per further residue.
+    """
+
+    name: str
+    scores: np.ndarray = field(repr=False)
+    gap_open: int = 11
+    gap_extend: int = 1
+
+    def __post_init__(self) -> None:
+        scores = np.asarray(self.scores, dtype=np.int16)
+        if scores.shape != (ALPHABET_SIZE, ALPHABET_SIZE):
+            raise ValueError(f"scoring matrix must be {ALPHABET_SIZE}x{ALPHABET_SIZE}")
+        if not np.array_equal(scores, scores.T):
+            raise ValueError("scoring matrix must be symmetric")
+        object.__setattr__(self, "scores", scores)
+
+    def score(self, a: int, b: int) -> int:
+        """Score one residue-code pair."""
+        return int(self.scores[a, b])
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the score table in bytes."""
+        return int(self.scores.nbytes)
+
+
+#: The standard NCBI BLOSUM62 matrix with BLASTP default gap costs (11, 1).
+BLOSUM62 = ScoringMatrix(name="BLOSUM62", scores=_parse_table(_BLOSUM62_TABLE))
+
+
+def match_mismatch_matrix(match: int = 5, mismatch: int = -4) -> ScoringMatrix:
+    """Build a uniform match/mismatch matrix for tests and toy examples.
+
+    All 24 symbols score ``match`` against themselves and ``mismatch``
+    against anything else; hand-computing expected alignment scores stays
+    trivial, which is what unit tests want.
+    """
+    if match <= 0 or mismatch >= 0:
+        raise ValueError("need match > 0 and mismatch < 0 for valid local alignment")
+    scores = np.full((ALPHABET_SIZE, ALPHABET_SIZE), mismatch, dtype=np.int16)
+    np.fill_diagonal(scores, match)
+    return ScoringMatrix(name=f"match{match}/mismatch{mismatch}", scores=scores)

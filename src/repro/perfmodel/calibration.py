@@ -1,0 +1,69 @@
+"""Calibrated cost constants of the CPU model.
+
+Absolute CPU timings in this repo come from counting abstract operations
+and pricing them with the constants below. The constants are *calibrated*,
+not measured on the paper's hardware (DESIGN.md §2): they were chosen so
+that (a) the per-phase time breakdown of the sequential baseline matches
+FSA-BLAST's published profile (hit detection + ungapped extension ~70-80 %
+of total, Fig. 11), and (b) total sequential search time per database
+residue is in the right order of magnitude for a ~3 GHz core. Cross-
+implementation *ratios* — every speedup the benchmarks report — depend on
+the counted work and the GPU model, not on the absolute scale of these
+numbers, and the ablation benches vary them to show that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Clock of the modelled CPU (Intel Core i5-2400, the paper's host).
+CPU_CLOCK_GHZ = 3.1
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Per-operation cycle costs of a CPU BLASTP implementation.
+
+    Attributes
+    ----------
+    word_lookup:
+        Per subject word: DFA transition + word-entry fetch + loop control.
+    hit_process:
+        Per hit: diagonal computation, lasthit load/compare/update.
+    ungapped_cell:
+        Per residue examined during ungapped extension (score fetch,
+        accumulate, compare).
+    gapped_cell:
+        Per DP cell of gapped extension (three-matrix affine update).
+    traceback_cell:
+        Per DP cell of the traceback pass (scores + path bookkeeping).
+    gapped_overhead:
+        Fixed per-extension setup (buffers, bounds).
+    thread_sync_us:
+        Per-thread-join synchronisation overhead of the pthreads phases.
+    """
+
+    word_lookup: float = 24.0
+    hit_process: float = 14.0
+    ungapped_cell: float = 5.0
+    gapped_cell: float = 12.0
+    traceback_cell: float = 14.0
+    gapped_overhead: float = 400.0
+    thread_sync_us: float = 5.0
+
+
+#: FSA-BLAST: the fastest sequential CPU code (Cameron's optimisations).
+DEFAULT_COSTS = CostConstants()
+
+#: NCBI BLAST: same algorithms, heavier engine — the conventional ~25 %
+#: single-thread handicap against FSA-BLAST that the FSA papers report.
+NCBI_COSTS = CostConstants(
+    word_lookup=30.0,
+    hit_process=17.5,
+    ungapped_cell=6.25,
+    gapped_cell=15.0,
+    traceback_cell=17.5,
+    gapped_overhead=500.0,
+    thread_sync_us=20.0,
+)

@@ -1,0 +1,87 @@
+"""Flat word-indexed lookup table (classic CPU BLAST seeding structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrices.blosum import ScoringMatrix
+from repro.seeding.words import (
+    DEFAULT_THRESHOLD,
+    DEFAULT_WORD_LENGTH,
+    Neighborhood,
+    build_neighborhood,
+    word_indices,
+)
+
+
+class WordLookupTable:
+    """Word index -> query positions, via direct array indexing.
+
+    This is the structure FSA-BLAST scans on the CPU: compute the word index
+    of the subject window, then read the matching query positions. It wraps
+    a :class:`~repro.seeding.words.Neighborhood` and adds the subject-side
+    scan helper used by the reference hit-detection implementation.
+    """
+
+    def __init__(self, neighborhood: Neighborhood) -> None:
+        self._nbr = neighborhood
+
+    @classmethod
+    def build(
+        cls,
+        query_codes: np.ndarray,
+        matrix: ScoringMatrix,
+        word_length: int = DEFAULT_WORD_LENGTH,
+        threshold: int = DEFAULT_THRESHOLD,
+    ) -> "WordLookupTable":
+        """Build the table for a query under the given scoring system."""
+        return cls(build_neighborhood(query_codes, matrix, word_length, threshold))
+
+    @property
+    def neighborhood(self) -> Neighborhood:
+        return self._nbr
+
+    @property
+    def word_length(self) -> int:
+        return self._nbr.word_length
+
+    @property
+    def query_length(self) -> int:
+        return self._nbr.query_length
+
+    def positions_for_word(self, word_index: int) -> np.ndarray:
+        """Query positions matching one word."""
+        return self._nbr.positions_for_word(word_index)
+
+    def scan(self, subject_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Find every hit between the query and one subject sequence.
+
+        Vectorised column-major scan: all subject windows are converted to
+        word indices at once, and the CSR neighbourhood is gathered per
+        window.
+
+        Returns
+        -------
+        (query_pos, subject_pos):
+            Two aligned ``int32``/``int64`` arrays; hit ``k`` pairs query
+            position ``query_pos[k]`` with subject position
+            ``subject_pos[k]``. Ordered column-major (by subject position,
+            then query position), matching Fig. 3's hit-detection order.
+        """
+        nbr = self._nbr
+        widx = word_indices(subject_codes, nbr.word_length)
+        if widx.size == 0:
+            return (np.zeros(0, dtype=np.int32), np.zeros(0, dtype=np.int64))
+        starts = nbr.offsets[widx]
+        counts = nbr.offsets[widx + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return (np.zeros(0, dtype=np.int32), np.zeros(0, dtype=np.int64))
+        # Expand the CSR slices: subject_pos repeats each window by its hit
+        # count; query positions are gathered with a ragged-range trick.
+        subject_pos = np.repeat(np.arange(widx.size, dtype=np.int64), counts)
+        # ragged ranges: for each expanded element, its offset within its slice
+        cum = np.cumsum(counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+        query_pos = nbr.positions[np.repeat(starts, counts) + within]
+        return (query_pos.astype(np.int32), subject_pos)

@@ -1,0 +1,113 @@
+"""Shared fixtures: small deterministic workloads and pre-built pipelines.
+
+Expensive artifacts (databases, neighbourhoods, device sessions) are
+session-scoped — tests treat them as immutable. Anything a test mutates it
+must build itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alphabet import encode
+from repro.core import BlastpPipeline, SearchParams
+from repro.io import generate_database, generate_query
+from repro.io.workloads import WorkloadSpec
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> WorkloadSpec:
+    """A 24-sequence homolog-rich workload for fast functional tests."""
+    return WorkloadSpec(
+        name="tiny",
+        num_sequences=24,
+        mean_length=150,
+        homolog_fraction=0.3,
+        seed=1234,
+        emulated_residues=110_000_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_db(tiny_spec):
+    return generate_database(tiny_spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_query(tiny_spec) -> str:
+    return generate_query(160, tiny_spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_query_codes(tiny_query) -> np.ndarray:
+    return encode(tiny_query)
+
+
+@pytest.fixture(scope="session")
+def tiny_params(tiny_spec) -> SearchParams:
+    return SearchParams(**tiny_spec.search_params_kwargs)
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline(tiny_query, tiny_params) -> BlastpPipeline:
+    return BlastpPipeline(tiny_query, tiny_params)
+
+
+@pytest.fixture(scope="session")
+def tiny_cutoffs(tiny_pipeline, tiny_db):
+    return tiny_pipeline.cutoffs(tiny_db)
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> WorkloadSpec:
+    """A 60-sequence workload for the GPU-kernel integration tests."""
+    return WorkloadSpec(
+        name="small",
+        num_sequences=60,
+        mean_length=180,
+        homolog_fraction=0.1,
+        seed=77,
+        emulated_residues=110_000_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_db(small_spec):
+    return generate_database(small_spec)
+
+
+@pytest.fixture(scope="session")
+def small_query(small_spec) -> str:
+    return generate_query(220, small_spec)
+
+
+@pytest.fixture(scope="session")
+def small_params(small_spec) -> SearchParams:
+    return SearchParams(**small_spec.search_params_kwargs)
+
+
+@pytest.fixture(scope="session")
+def small_pipeline(small_query, small_params) -> BlastpPipeline:
+    return BlastpPipeline(small_query, small_params)
+
+
+@pytest.fixture(scope="session")
+def small_cutoffs(small_pipeline, small_db):
+    return small_pipeline.cutoffs(small_db)
+
+
+def extension_keys(extensions):
+    """Canonical comparable form of an extension list."""
+    return sorted(
+        (e.seq_id, e.query_start, e.query_end, e.subject_start, e.subject_end, e.score)
+        for e in extensions
+    )
+
+
+def alignment_keys(alignments):
+    """Canonical comparable form of reported alignments."""
+    return [
+        (a.seq_id, a.score, a.query_start, a.query_end, a.subject_start, a.subject_end)
+        for a in alignments
+    ]

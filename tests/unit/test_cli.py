@@ -1,0 +1,110 @@
+"""Unit tests for the command-line interface (run in-process)."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import read_fasta_file
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """A tiny generated database plus a query drawn from it."""
+    d = tmp_path_factory.mktemp("cli")
+    db_path = d / "db.fasta"
+    assert (
+        main(
+            [
+                "makedb",
+                str(db_path),
+                "--sequences",
+                "40",
+                "--mean-length",
+                "140",
+                "--homologs",
+                "0.3",
+                "--seed",
+                "5",
+            ]
+        )
+        == 0
+    )
+    recs = read_fasta_file(db_path)
+    q_path = d / "query.fasta"
+    q_path.write_text(f">q0 from db\n{recs[2].sequence[:100]}\n")
+    return {"db": str(db_path), "query": str(q_path), "dir": d}
+
+
+class TestMakedb:
+    def test_fasta_valid(self, workspace):
+        recs = read_fasta_file(workspace["db"])
+        assert len(recs) == 40
+        assert all(len(r.sequence) >= 20 for r in recs)
+
+    def test_deterministic(self, workspace, tmp_path):
+        other = tmp_path / "again.fasta"
+        main(["makedb", str(other), "--sequences", "40", "--mean-length", "140",
+              "--homologs", "0.3", "--seed", "5"])
+        assert [r.sequence for r in read_fasta_file(other)] == [
+            r.sequence for r in read_fasta_file(workspace["db"])
+        ]
+
+
+class TestSearch:
+    def test_pairwise_output(self, workspace, capsys):
+        rc = main(
+            ["search", workspace["query"], workspace["db"],
+             "--effective-db-size", "100000000"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Query= q0" in out
+        assert "Score =" in out  # the planted self-match must be found
+
+    def test_tabular_output(self, workspace, capsys):
+        main(
+            ["search", workspace["query"], workspace["db"], "--outfmt", "tabular",
+             "--effective-db-size", "100000000"]
+        )
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if not l.startswith("#")]
+        assert lines
+        assert all(len(l.split("\t")) == 12 for l in lines)
+
+    def test_literal_query(self, workspace, capsys):
+        recs = read_fasta_file(workspace["db"])
+        rc = main(
+            ["search", recs[2].sequence[:60], workspace["db"],
+             "--outfmt", "tabular"]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out.strip()
+
+    @pytest.mark.parametrize("engine", ["fsa", "cublastp"])
+    def test_engines_agree(self, workspace, capsys, engine):
+        main(
+            ["search", workspace["query"], workspace["db"], "--outfmt", "tabular",
+             "--engine", engine, "--effective-db-size", "100000000"]
+        )
+        out = capsys.readouterr().out
+        if not hasattr(self, "_outputs"):
+            type(self)._outputs = {}
+        self._outputs[engine] = out
+        if len(self._outputs) == 2:
+            assert self._outputs["fsa"] == self._outputs["cublastp"]
+
+    def test_bad_query_argument(self, workspace):
+        with pytest.raises(SystemExit):
+            main(["search", "not_a_file_123", workspace["db"]])
+
+
+class TestProfile:
+    def test_profile_sections(self, workspace, capsys):
+        rc = main(
+            ["profile", workspace["query"], workspace["db"],
+             "--effective-db-size", "100000000"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hit_detection" in out
+        assert "pipelined end-to-end" in out
+        assert "gapped_extension" in out

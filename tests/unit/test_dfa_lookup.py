@@ -1,0 +1,96 @@
+"""Unit tests: DFA vs flat lookup table equivalence and DFA structure."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import ALPHABET_SIZE, encode
+from repro.io import generate_query
+from repro.io.workloads import WorkloadSpec
+from repro.matrices import BLOSUM62
+from repro.seeding import QueryDFA, WordLookupTable, build_neighborhood
+
+
+@pytest.fixture(scope="module")
+def nbr():
+    return build_neighborhood(encode("MKWTAYCIAKWQRNDHE"), BLOSUM62)
+
+
+@pytest.fixture(scope="module")
+def dfa(nbr):
+    return QueryDFA(nbr)
+
+
+@pytest.fixture(scope="module")
+def lut(nbr):
+    return WordLookupTable(nbr)
+
+
+class TestDfaStructure:
+    def test_num_states(self, dfa):
+        assert dfa.num_states == ALPHABET_SIZE**2
+
+    def test_transition_drops_oldest_letter(self, dfa):
+        # state "AB" + letter C -> state "BC"
+        a, b, c = 0, 1, 2
+        state_ab = a * ALPHABET_SIZE + b
+        assert dfa.next_state[state_ab, c] == b * ALPHABET_SIZE + c
+
+    def test_emitted_word_is_state_plus_letter(self, dfa):
+        state = 5 * ALPHABET_SIZE + 7
+        assert dfa.word_of[state, 3] == state * ALPHABET_SIZE + 3
+
+    def test_initial_state(self, dfa):
+        codes = encode("ARN")
+        assert dfa.initial_state(codes) == 0 * ALPHABET_SIZE + 1
+
+    def test_state_table_small_enough_for_shared_memory(self, dfa):
+        assert dfa.state_table_nbytes < 48 * 1024 * 8  # full tables
+        # The per-state record form used on the device is tiny:
+        assert dfa.num_states * 8 < 8 * 1024
+
+    def test_position_lists_nbytes(self, dfa, nbr):
+        assert dfa.position_lists_nbytes == nbr.offsets.nbytes + nbr.positions.nbytes
+
+
+class TestScanEquivalence:
+    def test_fig2_example(self):
+        """The paper's Fig. 2(a) walkthrough: query BABBC, subject CBABB.
+
+        With an exact-match scoring scheme, word BAB matches query position
+        0 and ABB matches position 1 — the hits the figure derives.
+        """
+        from repro.matrices import match_mismatch_matrix
+
+        q = encode("BABBC")
+        nbr = build_neighborhood(q, match_mismatch_matrix(5, -4), threshold=15)
+        dfa = QueryDFA(nbr)
+        qp, sp = dfa.scan(encode("CBABB"))
+        assert list(zip(qp.tolist(), sp.tolist())) == [(0, 1), (1, 2)]
+
+    @pytest.mark.parametrize("subject_seed", [0, 1, 2, 3])
+    def test_dfa_equals_lookup_on_random_subjects(self, dfa, lut, subject_seed):
+        spec = WorkloadSpec(name="t", num_sequences=1, mean_length=100, seed=subject_seed)
+        subj = encode(generate_query(120, spec, query_seed=subject_seed))
+        qp1, sp1 = dfa.scan(subj)
+        qp2, sp2 = lut.scan(subj)
+        assert np.array_equal(qp1, qp2)
+        assert np.array_equal(sp1, sp2)
+
+    def test_scan_short_subject(self, dfa, lut):
+        subj = encode("MK")
+        assert dfa.scan(subj)[0].size == 0
+        assert lut.scan(subj)[0].size == 0
+
+    def test_scan_column_major_order(self, lut):
+        subj = encode("MKWTAYMKWTAY")
+        qp, sp = lut.scan(subj)
+        # subject positions non-decreasing = column-major emission order
+        assert np.all(np.diff(sp) >= 0)
+
+    def test_positions_for_word_passthrough(self, dfa, lut, nbr):
+        for w in (0, 100, 5000):
+            assert np.array_equal(
+                dfa.positions_for_word(w) if hasattr(dfa, "positions_for_word")
+                else nbr.positions_for_word(w),
+                lut.positions_for_word(w),
+            )

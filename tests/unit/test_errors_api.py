@@ -1,0 +1,70 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigError,
+    FastaFormatError,
+    GpuSimError,
+    ReproError,
+    ResourceExceededError,
+    SequenceError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigError, FastaFormatError, GpuSimError, SequenceError, ResourceExceededError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_resource_exceeded_is_gpusim_error(self):
+        assert issubclass(ResourceExceededError, GpuSimError)
+
+    def test_catchable_as_base(self):
+        from repro.io import SequenceDatabase
+
+        with pytest.raises(ReproError):
+            SequenceDatabase.from_strings([])
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_headline_types_importable(self):
+        # The API the README advertises.
+        from repro import (  # noqa: F401
+            BLOSUM62,
+            CuBlastp,
+            CuBlastpConfig,
+            FsaBlast,
+            SearchParams,
+            SequenceDatabase,
+        )
+
+    def test_subpackage_alls_resolve(self):
+        import repro.baselines
+        import repro.cluster
+        import repro.cublastp
+        import repro.core
+        import repro.gpusim
+        import repro.io
+        import repro.matrices
+        import repro.perfmodel
+        import repro.seeding
+
+        for mod in (
+            repro.baselines, repro.cluster, repro.cublastp, repro.core,
+            repro.gpusim, repro.io, repro.matrices, repro.perfmodel,
+            repro.seeding,
+        ):
+            for name in getattr(mod, "__all__", []):
+                assert hasattr(mod, name), (mod.__name__, name)

@@ -1,0 +1,74 @@
+"""Unit tests for the optional L2 model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import K20C, KernelContext, MemorySpace, ReadOnlyCache, SharedMemory, Warp
+from repro.gpusim.cache import make_l2_cache
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.profiler import KernelProfile
+
+
+def make_warp(use_l2: bool):
+    profile = KernelProfile(name="t", device=K20C)
+    l2 = make_l2_cache(K20C) if use_l2 else None
+    warp = Warp(
+        K20C, profile, SharedMemory(K20C), ReadOnlyCache(K20C), 0, 1, l2=l2
+    )
+    mem = DeviceMemory(1 << 24)
+    return warp, profile, mem
+
+
+class TestL2Cache:
+    def test_capacity_matches_device(self):
+        l2 = make_l2_cache(K20C)
+        assert l2.num_sets * l2.ways * l2.line_bytes == K20C.l2_bytes
+
+    def test_repeat_load_cheaper_with_l2(self):
+        costs = {}
+        for use_l2 in (False, True):
+            warp, profile, mem = make_warp(use_l2)
+            buf = mem.alloc("x", np.zeros(32 * 64, dtype=np.int32))
+            warp.load(buf, warp.lane_id * 64)  # scattered: warm
+            before = profile.issue_cycles
+            warp.load(buf, warp.lane_id * 64)  # same lines again
+            costs[use_l2] = profile.issue_cycles - before
+        assert costs[True] < costs[False]
+
+    def test_cold_load_same_cost(self):
+        costs = {}
+        for use_l2 in (False, True):
+            warp, profile, mem = make_warp(use_l2)
+            buf = mem.alloc("x", np.zeros(32 * 64, dtype=np.int32))
+            warp.load(buf, warp.lane_id * 64)
+            costs[use_l2] = profile.issue_cycles
+        assert costs[True] == costs[False]  # all misses either way
+
+    def test_transactions_counted_regardless(self):
+        warp, profile, mem = make_warp(True)
+        buf = mem.alloc("x", np.zeros(32 * 64, dtype=np.int32))
+        warp.load(buf, warp.lane_id * 64)
+        warp.load(buf, warp.lane_id * 64)
+        # gld efficiency accounting is orthogonal to the cycle model.
+        assert profile.global_load_transactions == 64
+
+    def test_stores_probe_l2_too(self):
+        warp, profile, mem = make_warp(True)
+        buf = mem.alloc("x", np.zeros(32 * 64, dtype=np.int32))
+        warp.load(buf, warp.lane_id * 64)
+        before = profile.issue_cycles
+        warp.store(buf, warp.lane_id * 64, warp.lane_id)
+        store_cost = profile.issue_cycles - before
+        assert store_cost < 1 + 32 * K20C.global_tx_cycles
+
+    def test_context_creates_l2_on_demand(self):
+        ctx = KernelContext(device=K20C, use_l2=True)
+        assert ctx.l2 is not None
+        ctx2 = KernelContext(device=K20C)
+        assert ctx2.l2 is None
+
+    def test_readonly_path_unaffected(self):
+        warp, profile, mem = make_warp(True)
+        buf = mem.alloc("ro", np.zeros(64, dtype=np.int32), MemorySpace.READONLY)
+        warp.load(buf, warp.lane_id)
+        assert profile.readonly_misses > 0  # still the texture path

@@ -1,0 +1,242 @@
+"""Unit tests for the warp engine: masks, divergence, memory charging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuSimError, ResourceExceededError
+from repro.gpusim import K20C, ReadOnlyCache, SharedMemory, Warp
+from repro.gpusim.memory import DeviceMemory, MemorySpace
+from repro.gpusim.profiler import KernelProfile
+
+
+@pytest.fixture()
+def env():
+    profile = KernelProfile(name="t", device=K20C)
+    shared = SharedMemory(K20C)
+    cache = ReadOnlyCache(K20C)
+    mem = DeviceMemory(1 << 24)
+    warp = Warp(K20C, profile, shared, cache, warp_id=0, num_warps=4)
+    return warp, profile, shared, mem
+
+
+class TestMasks:
+    def test_initially_all_active(self, env):
+        warp, *_ = env
+        assert warp.active.all()
+
+    def test_where_masks_lanes(self, env):
+        warp, profile, *_ = env
+        with warp.where(warp.lane_id < 8):
+            assert warp.active.sum() == 8
+        assert warp.active.all()
+
+    def test_nested_where_intersects(self, env):
+        warp, *_ = env
+        with warp.where(warp.lane_id < 16):
+            with warp.where(warp.lane_id >= 8):
+                assert warp.active.sum() == 8
+
+    def test_divergent_branch_counted(self, env):
+        warp, profile, *_ = env
+        with warp.where(warp.lane_id < 8):
+            pass
+        assert profile.divergent_branches == 1
+
+    def test_uniform_branch_not_divergent(self, env):
+        warp, profile, *_ = env
+        with warp.where(np.ones(32, dtype=bool)):
+            pass
+        with warp.where(np.zeros(32, dtype=bool)):
+            pass
+        assert profile.divergent_branches == 0
+
+    def test_loop_while_iterates_to_max(self, env):
+        # Convention: lane-state updates inside a divergent loop are the
+        # kernel's responsibility to mask (here via warp.active).
+        warp, profile, *_ = env
+        trip = warp.lane_id % 4  # lanes need 0..3 iterations
+        i = np.zeros(32, dtype=np.int64)
+        iterations = 0
+        for _ in warp.loop_while(lambda: i < trip):
+            i += warp.active
+            iterations += 1
+        assert iterations == 3
+        assert np.array_equal(i, trip)
+
+    def test_loop_divergence_counted(self, env):
+        warp, profile, *_ = env
+        i = np.zeros(32, dtype=np.int64)
+        for _ in warp.loop_while(lambda: i < warp.lane_id % 2):
+            i += 1
+        assert profile.divergent_branches >= 1
+
+    def test_alu_active_lane_accounting(self, env):
+        warp, profile, *_ = env
+        with warp.where(warp.lane_id < 4):
+            warp.alu(2)
+        # 2 alu at 4 lanes + 1 branch instr at 32 lanes
+        assert profile.active_lane_slots == 2 * 4 + 32
+        assert profile.warp_execution_efficiency < 1.0
+
+
+class TestGlobalMemory:
+    def test_load_returns_values(self, env):
+        warp, _, _, mem = env
+        buf = mem.alloc("x", np.arange(64, dtype=np.int32))
+        out = warp.load(buf, warp.lane_id * 2)
+        assert np.array_equal(out, np.arange(0, 64, 2))
+
+    def test_load_masked_fill(self, env):
+        warp, _, _, mem = env
+        buf = mem.alloc("x", np.arange(64, dtype=np.int32))
+        with warp.where(warp.lane_id < 4):
+            out = warp.load(buf, warp.lane_id, fill=-7)
+        assert out[:4].tolist() == [0, 1, 2, 3]
+        assert np.all(out[4:] == -7)
+
+    def test_load_out_of_bounds_raises(self, env):
+        warp, _, _, mem = env
+        buf = mem.alloc("x", np.arange(8, dtype=np.int32))
+        with pytest.raises(GpuSimError):
+            warp.load(buf, warp.lane_id)
+
+    def test_coalesced_load_counts_one_transaction(self, env):
+        warp, profile, _, mem = env
+        buf = mem.alloc("x", np.arange(32, dtype=np.int32))
+        warp.load(buf, warp.lane_id)
+        assert profile.global_load_transactions == 1
+        assert profile.global_load_efficiency == 1.0
+
+    def test_scattered_load_counts_many(self, env):
+        warp, profile, _, mem = env
+        buf = mem.alloc("x", np.zeros(32 * 64, dtype=np.int32))
+        warp.load(buf, warp.lane_id * 64)
+        assert profile.global_load_transactions == 32
+        assert profile.global_load_efficiency == pytest.approx(4 / 128)
+
+    def test_store_roundtrip(self, env):
+        warp, profile, _, mem = env
+        buf = mem.alloc("y", np.zeros(32, dtype=np.int64))
+        warp.store(buf, warp.lane_id, warp.lane_id * 3)
+        assert np.array_equal(buf.data, np.arange(32) * 3)
+        assert profile.global_store_transactions == 2  # 32 x 8B = 2 lines
+
+    def test_store_to_readonly_rejected(self, env):
+        warp, _, _, mem = env
+        buf = mem.alloc("ro", np.zeros(32, dtype=np.int8), MemorySpace.READONLY)
+        with pytest.raises(GpuSimError, match="read-only"):
+            warp.store(buf, warp.lane_id, warp.lane_id)
+
+    def test_readonly_cache_hits_on_reuse(self, env):
+        warp, profile, _, mem = env
+        buf = mem.alloc("ro", np.arange(32, dtype=np.int32), MemorySpace.READONLY)
+        warp.load(buf, warp.lane_id)
+        warp.load(buf, warp.lane_id)
+        assert profile.readonly_misses == 1
+        assert profile.readonly_hits == 1
+        assert profile.global_load_transactions == 0  # texture path, not gld
+
+    def test_readonly_cache_disabled_goes_global(self):
+        profile = KernelProfile(name="t", device=K20C)
+        mem = DeviceMemory(1 << 20)
+        warp = Warp(K20C, profile, SharedMemory(K20C), ReadOnlyCache(K20C),
+                    0, 1, use_readonly_cache=False)
+        buf = mem.alloc("ro", np.arange(32, dtype=np.int32), MemorySpace.READONLY)
+        warp.load(buf, warp.lane_id)
+        assert profile.readonly_misses == 0
+        assert profile.global_load_transactions == 1
+
+    def test_load_span_counts_lines(self, env):
+        warp, profile, _, mem = env
+        buf = mem.alloc("x", np.arange(1024, dtype=np.uint8))
+        out = warp.load_span(buf, 0, 128)
+        assert out.size == 128
+        assert profile.global_load_transactions == 1
+        assert profile.global_load_requested_bytes == 128
+
+    def test_atomic_add_global_serializes(self, env):
+        warp, profile, _, mem = env
+        buf = mem.alloc("c", np.zeros(1, dtype=np.int64))
+        old = warp.atomic_add_global(buf, np.zeros(32, dtype=np.int64), np.ones(32, dtype=np.int64))
+        assert sorted(old.tolist()) == list(range(32))
+        assert buf.data[0] == 32
+        assert profile.atomic_serial_cycles >= 32 * K20C.global_atomic_cycles
+
+
+class TestSharedMemory:
+    def test_alloc_and_access(self, env):
+        warp, _, shared, _ = env
+        shared.alloc("s", 64, np.int32)
+        warp.store_shared("s", warp.lane_id, warp.lane_id + 1)
+        out = warp.load_shared("s", warp.lane_id)
+        assert np.array_equal(out, np.arange(1, 33))
+
+    def test_over_allocation_rejected(self, env):
+        _, _, shared, _ = env
+        with pytest.raises(ResourceExceededError):
+            shared.alloc("big", 50 * 1024, np.int8)
+
+    def test_bank_conflicts_counted(self, env):
+        warp, profile, shared, _ = env
+        shared.alloc("s", 32 * 32, np.int32)
+        warp.load_shared("s", warp.lane_id * 32)  # all lanes hit bank 0
+        assert profile.shared_conflict_cycles == 31
+
+    def test_broadcast_no_conflict(self, env):
+        warp, profile, shared, _ = env
+        shared.alloc("s", 32, np.int32)
+        warp.load_shared("s", np.zeros(32, dtype=np.int64))
+        assert profile.shared_conflict_cycles == 0
+
+    def test_conflict_free_stride_one(self, env):
+        warp, profile, shared, _ = env
+        shared.alloc("s", 32, np.int32)
+        warp.load_shared("s", warp.lane_id)
+        assert profile.shared_conflict_cycles == 0
+
+    def test_atomic_add_shared(self, env):
+        warp, profile, shared, _ = env
+        shared.alloc("tops", 4, np.int32)
+        idx = warp.lane_id % 4
+        old = warp.atomic_add_shared("tops", idx, np.ones(32, dtype=np.int32))
+        assert np.array_equal(np.sort(shared.region("tops")), [8, 8, 8, 8])
+        # each address got 8 updates; old values per address are 0..7
+        assert sorted(old[idx == 0].tolist()) == list(range(8))
+
+    def test_shared_bounds_checked(self, env):
+        warp, _, shared, _ = env
+        shared.alloc("s", 4, np.int32)
+        with pytest.raises(GpuSimError):
+            warp.load_shared("s", warp.lane_id)
+
+
+class TestWarpPrimitives:
+    def test_inclusive_scan(self, env):
+        warp, *_ = env
+        out = warp.inclusive_scan(np.ones(32, dtype=np.int64))
+        assert np.array_equal(out, np.arange(1, 33))
+
+    def test_scan_ignores_inactive(self, env):
+        warp, *_ = env
+        with warp.where(warp.lane_id < 4):
+            out = warp.inclusive_scan(np.ones(32, dtype=np.int64))
+        assert out[-1] == 4
+
+    def test_reduce_max(self, env):
+        warp, *_ = env
+        assert warp.reduce_max(warp.lane_id * 2) == 62
+
+    def test_reduce_max_masked(self, env):
+        warp, *_ = env
+        with warp.where(warp.lane_id < 5):
+            assert warp.reduce_max(warp.lane_id) == 4
+
+    def test_ballot(self, env):
+        warp, *_ = env
+        v = warp.ballot(warp.lane_id % 2 == 0)
+        assert v.sum() == 16
+
+    def test_shfl_broadcast(self, env):
+        warp, *_ = env
+        out = warp.shfl(warp.lane_id * 10, 3)
+        assert np.all(out == 30)

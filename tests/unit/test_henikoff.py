@@ -1,0 +1,133 @@
+"""Unit tests for the BLOSUM-from-blocks constructor."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import ALPHABET, background_frequencies, decode, encode
+from repro.matrices import BLOSUM62, ungapped_params
+from repro.matrices.henikoff import blosum_from_blocks, cluster_sequences, count_block_pairs
+
+
+class TestClustering:
+    def test_identical_sequences_cluster(self):
+        rows = np.stack([encode("MKTAY")] * 3)
+        assert len(set(cluster_sequences(rows, 0.62))) == 1
+
+    def test_distinct_sequences_separate(self):
+        rows = np.stack([encode("MKTAY"), encode("WCRHG")])
+        assert len(set(cluster_sequences(rows, 0.62))) == 2
+
+    def test_threshold_boundary(self):
+        # 3/5 = 60 % identity: below 0.62, above 0.5.
+        rows = np.stack([encode("MKTAY"), encode("MKTWC")])
+        assert len(set(cluster_sequences(rows, 0.62))) == 2
+        assert len(set(cluster_sequences(rows, 0.5))) == 1
+
+    def test_single_linkage_transitivity(self):
+        # a~b and b~c at 60 %, a!~c: single linkage joins all three.
+        a, b, c = "MKTAY", "MKTWC", "MHGWC"
+        rows = np.stack([encode(a), encode(b), encode(c)])
+        assert len(set(cluster_sequences(rows, 0.6))) == 1
+
+
+class TestPairCounts:
+    def test_simple_two_sequences(self):
+        rows = np.stack([encode("AA"), encode("AR")])
+        clusters = np.array([0, 1])
+        counts = count_block_pairs(rows, clusters)
+        A, R = ALPHABET.index("A"), ALPHABET.index("R")
+        assert counts[A, A] == pytest.approx(2.0)  # column 0: A-A both ways
+        assert counts[A, R] == pytest.approx(1.0)
+        assert counts[R, A] == pytest.approx(1.0)
+
+    def test_within_cluster_pairs_skipped(self):
+        rows = np.stack([encode("AA"), encode("AA")])
+        counts = count_block_pairs(rows, np.array([0, 0]))
+        assert counts.sum() == 0
+
+    def test_cluster_weighting(self):
+        # Two near-identical sequences vs one distinct: the pair's weight
+        # halves per duplicated member.
+        rows = np.stack([encode("AAAAA"), encode("AAAAA"), encode("RRRRR")])
+        counts = count_block_pairs(rows, np.array([0, 0, 1]))
+        A, R = ALPHABET.index("A"), ALPHABET.index("R")
+        # 2 cross pairs x 5 columns x weight (1/2 * 1) = 5, both directions.
+        assert counts[A, R] == pytest.approx(5.0)
+
+
+class TestDerivedMatrix:
+    @pytest.fixture(scope="class")
+    def synthetic_blocks(self):
+        """Blocks sampled through BLOSUM62's own pair distribution.
+
+        Column pairs (a, b) are drawn with probability proportional to
+        p_a p_b 2^(s_ab / 2) — the implied target frequencies — so the
+        derived matrix should recover BLOSUM62's structure.
+        """
+        rng = np.random.default_rng(8)
+        p = background_frequencies()[:20]
+        p = p / p.sum()
+        s = BLOSUM62.scores[:20, :20].astype(np.float64)
+        joint = np.outer(p, p) * np.exp2(s / 2.0)
+        joint /= joint.sum()
+        flat = joint.reshape(-1)
+        blocks = []
+        for _ in range(60):
+            width = int(rng.integers(20, 40))
+            pairs = rng.choice(400, size=width, p=flat)
+            row_a = (pairs // 20).astype(np.uint8)
+            row_b = (pairs % 20).astype(np.uint8)
+            blocks.append([decode(row_a), decode(row_b)])
+        return blocks
+
+    def test_recovers_blosum62_structure(self, synthetic_blocks):
+        derived = blosum_from_blocks(synthetic_blocks, 0.62, name="test")
+        a = derived.scores[:20, :20].astype(np.float64).reshape(-1)
+        b = BLOSUM62.scores[:20, :20].astype(np.float64).reshape(-1)
+        r = np.corrcoef(a, b)[0, 1]
+        assert r > 0.75
+
+    def test_symmetric_and_valid(self, synthetic_blocks):
+        derived = blosum_from_blocks(synthetic_blocks)
+        assert np.array_equal(derived.scores, derived.scores.T)
+        # A valid scoring system: positive lambda exists.
+        params = ungapped_params(derived)
+        assert params.lam > 0
+
+    def test_common_self_pairs_positive(self, synthetic_blocks):
+        derived = blosum_from_blocks(synthetic_blocks)
+        for res in "LAGS":
+            i = ALPHABET.index(res)
+            assert derived.score(i, i) > 0
+
+    def test_no_between_cluster_pairs_raises(self):
+        with pytest.raises(ValueError, match="between-cluster"):
+            blosum_from_blocks([["MKTAY", "MKTAY"]])
+
+    def test_ragged_block_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            blosum_from_blocks([["MKTAY", "MKT"]])
+
+    def test_nonstandard_residue_rejected(self):
+        with pytest.raises(ValueError, match="standard residues"):
+            blosum_from_blocks([["MKXAY", "WCRHG"]])
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            blosum_from_blocks([["MK", "WC"]], identity_threshold=0.0)
+
+    def test_search_with_derived_matrix(self, synthetic_blocks, tiny_db, tiny_spec):
+        """The derived matrix drives a full search end to end."""
+        import dataclasses
+
+        from repro.core import BlastpPipeline, SearchParams
+        from repro.io import generate_query
+
+        derived = blosum_from_blocks(synthetic_blocks)
+        params = SearchParams(
+            matrix=derived, effective_db_residues=10**8
+        )
+        pipe = BlastpPipeline(generate_query(160, tiny_spec), params)
+        result = pipe.search(tiny_db)
+        assert result.num_hits > 0
+        assert result.num_reported >= 1  # planted homologs still found

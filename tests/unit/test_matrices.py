@@ -1,0 +1,162 @@
+"""Unit tests for scoring matrices, PSSM construction and statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.alphabet import ALPHABET, ALPHABET_SIZE, encode
+from repro.matrices import (
+    BLOSUM62,
+    KarlinParams,
+    ScoringMatrix,
+    build_pssm,
+    gapped_params,
+    match_mismatch_matrix,
+    pssm_memory_bytes,
+    ungapped_params,
+)
+
+
+def idx(c: str) -> int:
+    return ALPHABET.index(c)
+
+
+class TestBlosum62:
+    def test_shape_and_dtype(self):
+        assert BLOSUM62.scores.shape == (ALPHABET_SIZE, ALPHABET_SIZE)
+        assert BLOSUM62.scores.dtype == np.int16
+
+    def test_symmetry(self):
+        assert np.array_equal(BLOSUM62.scores, BLOSUM62.scores.T)
+
+    @pytest.mark.parametrize(
+        "a,b,score",
+        [
+            ("W", "W", 11),
+            ("A", "A", 4),
+            ("C", "C", 9),
+            ("X", "Y", -1),  # the paper's Fig. 2 example pair
+            ("E", "Z", 4),
+            ("N", "B", 3),
+            ("W", "P", -4),
+            ("*", "*", 1),
+            ("A", "*", -4),
+        ],
+    )
+    def test_known_entries(self, a, b, score):
+        assert BLOSUM62.score(idx(a), idx(b)) == score
+
+    def test_diagonal_dominates_row(self):
+        # Every standard residue scores itself at least as high as any other.
+        for i in range(20):
+            row = BLOSUM62.scores[i]
+            assert row[i] == row[:20].max()
+
+    def test_default_gap_costs(self):
+        assert BLOSUM62.gap_open == 11
+        assert BLOSUM62.gap_extend == 1
+
+    def test_nbytes_fits_shared_memory(self):
+        # The paper: the fixed-size matrix always fits in 48 kB shared.
+        assert BLOSUM62.nbytes <= 2 * 1024
+
+
+class TestScoringMatrix:
+    def test_rejects_asymmetric(self):
+        s = np.zeros((ALPHABET_SIZE, ALPHABET_SIZE), dtype=np.int16)
+        s[0, 1] = 5
+        with pytest.raises(ValueError, match="symmetric"):
+            ScoringMatrix("bad", s)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            ScoringMatrix("bad", np.zeros((4, 4), dtype=np.int16))
+
+    def test_match_mismatch(self):
+        m = match_mismatch_matrix(5, -4)
+        assert m.score(0, 0) == 5
+        assert m.score(0, 1) == -4
+
+    def test_match_mismatch_validation(self):
+        with pytest.raises(ValueError):
+            match_mismatch_matrix(-1, -4)
+        with pytest.raises(ValueError):
+            match_mismatch_matrix(5, 1)
+
+
+class TestPssm:
+    def test_columns_are_query_positions(self):
+        q = encode("WAC")
+        pssm = build_pssm(q, BLOSUM62)
+        assert pssm.shape == (ALPHABET_SIZE, 3)
+        assert pssm[idx("W"), 0] == 11
+        assert pssm[idx("A"), 1] == 4
+        assert pssm[idx("C"), 2] == 9
+        assert pssm[idx("P"), 0] == BLOSUM62.score(idx("P"), idx("W"))
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            build_pssm(np.zeros(0, dtype=np.uint8), BLOSUM62)
+
+    def test_memory_model(self):
+        # 64 bytes per column (the paper's budget arithmetic).
+        assert pssm_memory_bytes(768) == 48 * 1024
+        assert pssm_memory_bytes(769) > 48 * 1024
+
+    def test_memory_model_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            pssm_memory_bytes(0)
+
+
+class TestKarlin:
+    def test_blosum62_ungapped_matches_published(self):
+        p = ungapped_params(BLOSUM62)
+        assert p.lam == pytest.approx(0.3176, abs=2e-4)
+        assert p.K == pytest.approx(0.134, rel=0.02)
+        assert p.H == pytest.approx(0.4012, abs=2e-3)
+
+    def test_blosum62_gapped_published_table(self):
+        p = gapped_params(BLOSUM62, 11, 1)
+        assert (p.lam, p.K, p.H) == (0.267, 0.041, 0.14)
+
+    def test_gapped_lambda_below_ungapped(self):
+        assert gapped_params(BLOSUM62).lam < ungapped_params(BLOSUM62).lam
+
+    def test_gapped_fallback_for_untabled_costs(self):
+        p = gapped_params(BLOSUM62, 13, 3)
+        assert 0 < p.lam < ungapped_params(BLOSUM62).lam
+
+    def test_bit_score_monotonic(self):
+        p = ungapped_params(BLOSUM62)
+        assert p.bit_score(50) > p.bit_score(40)
+
+    def test_evalue_decreases_with_score(self):
+        p = gapped_params(BLOSUM62)
+        assert p.evalue(80, 500, 10**6) < p.evalue(40, 500, 10**6)
+
+    def test_evalue_scales_with_search_space(self):
+        p = gapped_params(BLOSUM62)
+        assert p.evalue(50, 500, 10**8) == pytest.approx(
+            100 * p.evalue(50, 500, 10**6)
+        )
+
+    def test_score_for_evalue_inverts_evalue(self):
+        p = gapped_params(BLOSUM62)
+        s = p.score_for_evalue(1e-3, 500, 10**6)
+        assert p.evalue(s, 500, 10**6) <= 1e-3
+        assert p.evalue(s - 1, 500, 10**6) > 1e-3
+
+    def test_score_for_evalue_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gapped_params(BLOSUM62).score_for_evalue(0, 500, 10**6)
+
+    def test_match_mismatch_has_valid_stats(self):
+        p = ungapped_params(match_mismatch_matrix())
+        assert p.lam > 0 and p.K > 0 and p.H > 0
+
+    def test_bit_score_formula(self):
+        p = KarlinParams(lam=0.25, K=0.05, H=0.2)
+        assert p.bit_score(40) == pytest.approx(
+            (0.25 * 40 - math.log(0.05)) / math.log(2)
+        )

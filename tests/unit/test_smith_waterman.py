@@ -1,0 +1,103 @@
+"""Unit tests for the Smith-Waterman oracle."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import encode
+from repro.baselines import smith_waterman_align, smith_waterman_score, sw_search_scores
+from repro.io import SequenceDatabase
+from repro.matrices import BLOSUM62, build_pssm, match_mismatch_matrix
+
+
+def brute_force_sw(q, s, matrix, go, ge):
+    """Cubic-time affine local alignment (independent reference)."""
+    n, m = len(q), len(s)
+    NEG = -(10**9)
+    H = np.zeros((n + 1, m + 1), dtype=np.int64)
+    E = np.full((n + 1, m + 1), NEG, dtype=np.int64)
+    F = np.full((n + 1, m + 1), NEG, dtype=np.int64)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            E[i][j] = max(H[i - 1][j] - go, E[i - 1][j] - ge)
+            F[i][j] = max(H[i][j - 1] - go, F[i][j - 1] - ge)
+            H[i][j] = max(
+                0,
+                H[i - 1][j - 1] + matrix.score(q[i - 1], s[j - 1]),
+                E[i][j],
+                F[i][j],
+            )
+    return int(H.max())
+
+
+@pytest.fixture(scope="module")
+def mm():
+    return match_mismatch_matrix(5, -4)
+
+
+class TestScore:
+    def test_identical(self, mm):
+        q = encode("MKTAYIAK")
+        assert smith_waterman_score(build_pssm(q, mm), q, 5, 1) == 40
+
+    def test_no_similarity(self, mm):
+        q = encode("MMMM")
+        s = encode("WWWW")
+        assert smith_waterman_score(build_pssm(q, mm), s, 5, 1) == 0
+
+    def test_local_trims(self, mm):
+        q = encode("CCCCMKTAYCCCC")
+        s = encode("WWWWMKTAYWWWW")
+        assert smith_waterman_score(build_pssm(q, mm), s, 5, 1) == 25
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_bruteforce(self, seed, mm):
+        rng = np.random.default_rng(seed)
+        letters = list("ARNDCQEGHILKMFPSTWYV")
+        q = encode("".join(rng.choice(letters, int(rng.integers(5, 25)))))
+        s = encode("".join(rng.choice(letters, int(rng.integers(5, 25)))))
+        got = smith_waterman_score(build_pssm(q, BLOSUM62), s, 11, 1)
+        assert got == brute_force_sw(q, s, BLOSUM62, 11, 1)
+
+    def test_empty_subject(self, mm):
+        q = encode("MKT")
+        assert smith_waterman_score(build_pssm(q, mm), np.zeros(0, np.uint8), 5, 1) == 0
+
+
+class TestAlign:
+    def test_alignment_score_matches_score_only(self, mm):
+        q = encode("MKTAYIAKWQRN")
+        s = encode("MKTAWIAKQRN")
+        tb = smith_waterman_align(q, s, BLOSUM62)
+        assert tb.score == smith_waterman_score(build_pssm(q, BLOSUM62), s, 11, 1)
+
+    def test_none_when_no_alignment(self, mm):
+        assert smith_waterman_align(encode("MMM"), encode("WWW"), mm, 5, 1) is None
+
+
+class TestSearch:
+    def test_per_sequence_scores(self, mm):
+        db = SequenceDatabase.from_strings(["MKTAY", "WWWWW", "MKT"])
+        scores = sw_search_scores(encode("MKTAY"), db, mm, 5, 1)
+        assert scores.tolist() == [25, 0, 15]
+
+    def test_blast_never_beats_sw(self, tiny_pipeline, tiny_db):
+        """BLAST approximates SW from below: every reported alignment
+        score is bounded by the optimal local score for that pair."""
+        result = tiny_pipeline.search(tiny_db)
+        assert result.alignments
+        sw = sw_search_scores(
+            tiny_pipeline.query_codes, tiny_db, tiny_pipeline.params.matrix
+        )
+        for a in result.alignments:
+            assert a.score <= sw[a.seq_id]
+
+    def test_blast_finds_near_optimal_for_homologs(self, tiny_pipeline, tiny_db):
+        """For planted homologs, the heuristic should land within a few
+        percent of the optimum (the paper: 'only a slight loss in
+        accuracy')."""
+        result = tiny_pipeline.search(tiny_db)
+        sw = sw_search_scores(
+            tiny_pipeline.query_codes, tiny_db, tiny_pipeline.params.matrix
+        )
+        best = result.best()
+        assert best.score >= 0.9 * sw[best.seq_id]

@@ -1,0 +1,127 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import ALPHABET, encode
+from repro.io import generate_database, generate_query, standard_queries, standard_workloads
+from repro.io.workloads import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return WorkloadSpec(name="t", num_sequences=80, mean_length=150, seed=3)
+
+
+class TestGeneration:
+    def test_deterministic(self, spec):
+        a = generate_database(spec)
+        b = generate_database(spec)
+        assert np.array_equal(a.codes, b.codes)
+
+    def test_seed_changes_content(self, spec):
+        import dataclasses
+
+        other = generate_database(dataclasses.replace(spec, seed=4))
+        assert not np.array_equal(generate_database(spec).codes, other.codes)
+
+    def test_sequence_count(self, spec):
+        assert len(generate_database(spec)) == 80
+
+    def test_mean_length_near_target(self):
+        spec = WorkloadSpec(name="t", num_sequences=2000, mean_length=200, seed=1)
+        db = generate_database(spec)
+        assert db.stats().mean_length == pytest.approx(200, rel=0.08)
+
+    def test_only_standard_residues(self, spec):
+        db = generate_database(spec)
+        assert int(db.codes.max()) < 20  # no B/Z/X/* in synthetic data
+
+    def test_query_exact_length(self, spec):
+        for n in (127, 517, 1054):
+            assert len(generate_query(n, spec)) == n
+
+    def test_query_too_short_rejected(self, spec):
+        with pytest.raises(ValueError):
+            generate_query(10, spec)
+
+    def test_query_deterministic(self, spec):
+        assert generate_query(127, spec) == generate_query(127, spec)
+
+    def test_query_seed_varies(self, spec):
+        assert generate_query(127, spec, 0) != generate_query(127, spec, 1)
+
+    def test_composition_near_robinson(self):
+        from repro.alphabet import background_frequencies
+
+        spec = WorkloadSpec(
+            name="t", num_sequences=300, mean_length=300, homolog_fraction=0.0, seed=9
+        )
+        db = generate_database(spec)
+        freq = np.bincount(db.codes, minlength=24) / db.codes.size
+        expect = background_frequencies()
+        # Leucine should dominate, tryptophan should be rare, etc.
+        assert np.abs(freq[:20] - expect[:20]).max() < 0.01
+
+
+class TestHomologs:
+    def test_homologs_create_alignments(self):
+        spec = WorkloadSpec(
+            name="t", num_sequences=30, mean_length=150, homolog_fraction=0.5,
+            seed=8, emulated_residues=10**7,
+        )
+        db = generate_database(spec)
+        from repro.core import BlastpPipeline, SearchParams
+
+        pipe = BlastpPipeline(generate_query(200, spec), SearchParams(**spec.search_params_kwargs))
+        result = pipe.search(db)
+        assert result.num_reported >= 2
+
+    def test_zero_homologs_few_alignments(self):
+        spec = WorkloadSpec(
+            name="t", num_sequences=30, mean_length=150, homolog_fraction=0.0,
+            seed=8, emulated_residues=10**8,
+        )
+        db = generate_database(spec)
+        from repro.core import BlastpPipeline, SearchParams
+
+        pipe = BlastpPipeline(generate_query(200, spec), SearchParams(**spec.search_params_kwargs))
+        assert pipe.search(db).num_reported == 0
+
+
+class TestStandardWorkloads:
+    def test_two_databases(self):
+        w = standard_workloads()
+        assert set(w) == {"swissprot_mini", "env_nr_mini"}
+        assert w["swissprot_mini"].mean_length == 370
+        assert w["env_nr_mini"].mean_length == 200
+        assert w["env_nr_mini"].num_sequences > w["swissprot_mini"].num_sequences
+
+    def test_scaling(self):
+        w = standard_workloads(scale=0.5)
+        assert w["swissprot_mini"].num_sequences == 200
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            standard_workloads()["swissprot_mini"].scaled(0)
+
+    def test_standard_queries_lengths(self):
+        spec = standard_workloads()["swissprot_mini"]
+        qs = standard_queries(spec)
+        assert {k: len(v) for k, v in qs.items()} == {
+            "query127": 127,
+            "query517": 517,
+            "query1054": 1054,
+        }
+
+    def test_queries_are_valid_protein(self):
+        spec = standard_workloads()["swissprot_mini"]
+        for q in standard_queries(spec).values():
+            assert all(c in ALPHABET for c in q)
+            assert encode(q).size == len(q)
+
+    def test_search_params_kwargs(self):
+        spec = standard_workloads()["env_nr_mini"]
+        assert spec.search_params_kwargs == {
+            "effective_db_residues": 1_250_000_000
+        }
