@@ -9,8 +9,6 @@ paper's 2.9x. This bench measures exactly that, turning the documented
 deviation from a hand-wave into a quantified model choice.
 """
 
-import dataclasses
-
 from common import print_table
 
 from repro.baselines import CudaBlastp

@@ -10,7 +10,7 @@ alignment-with-traceback, and other. The paper's claims:
 * four CPU threads shrink those, giving > 4x overall vs FSA-BLAST.
 """
 
-from common import get_lab, print_table
+from common import print_table
 
 
 def _cublastp_row(lab, threads: int):

@@ -19,6 +19,7 @@ from functools import lru_cache
 from repro.baselines import CudaBlastp, FsaBlast, GpuBlastp, NcbiBlast
 from repro.core import SearchParams
 from repro.cublastp import CuBlastp, CuBlastpConfig, ExtensionMode
+from repro.engine import QueryCache, compile_query
 from repro.io import generate_database, standard_queries, standard_workloads
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
@@ -43,6 +44,9 @@ class Lab:
         )
         self._dbs = {}
         self._queries = {}
+        # One compile per (db, query): every engine and configuration in
+        # the suite binds the same CompiledQuery (engine-layer sharing).
+        self._compile_cache = QueryCache(capacity=64)
 
     def db(self, name: str):
         if name not in self._dbs:
@@ -58,19 +62,25 @@ class Lab:
     def params(self, db_name: str) -> SearchParams:
         return SearchParams(**self.specs[db_name].search_params_kwargs)
 
+    def compiled(self, db_name: str, q_name: str):
+        """The (db, query) pair's CompiledQuery (one build, LRU-cached)."""
+        return compile_query(
+            self.query(db_name, q_name), self.params(db_name), cache=self._compile_cache
+        )
+
     # -- cached runs ---------------------------------------------------------
 
     @lru_cache(maxsize=None)
     def fsa(self, db_name: str, q_name: str):
         """(result, timing, counts) of FSA-BLAST."""
-        return FsaBlast(self.query(db_name, q_name), self.params(db_name)).search_with_timing(
+        return FsaBlast(self.compiled(db_name, q_name)).search_with_timing(
             self.db(db_name)
         )
 
     @lru_cache(maxsize=None)
     def ncbi(self, db_name: str, q_name: str, threads: int = 4):
         return NcbiBlast(
-            self.query(db_name, q_name), self.params(db_name), threads=threads
+            self.compiled(db_name, q_name), threads=threads
         ).search_with_timing(self.db(db_name))
 
     @lru_cache(maxsize=None)
@@ -80,14 +90,14 @@ class Lab:
         if "extension_mode" in cfg_kwargs:
             cfg_kwargs["extension_mode"] = ExtensionMode(cfg_kwargs["extension_mode"])
         cfg = CuBlastpConfig(**cfg_kwargs)
-        cb = CuBlastp(self.query(db_name, q_name), self.params(db_name), cfg)
+        cb = CuBlastp(self.compiled(db_name, q_name), None, cfg)
         return cb.search_with_report(self.db(db_name))
 
     @lru_cache(maxsize=None)
     def coarse(self, system: str, db_name: str, q_name: str):
         """(result, report) of a coarse baseline ('cuda' or 'gpu')."""
         cls = CudaBlastp if system == "cuda" else GpuBlastp
-        return cls(self.query(db_name, q_name), self.params(db_name)).search_with_report(
+        return cls(self.compiled(db_name, q_name)).search_with_report(
             self.db(db_name)
         )
 

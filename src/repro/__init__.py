@@ -18,6 +18,10 @@ Quickstart::
 
 Package map
 -----------
+``repro.engine``
+    The unified engine layer: compiled queries (built once, shared across
+    engines and database blocks), the pluggable :class:`Engine` protocol,
+    the concurrent :class:`BatchExecutor`, and the phase-event stream.
 ``repro.core``
     The four-phase BLASTP pipeline (the algorithmic ground truth).
 ``repro.cublastp``
@@ -39,6 +43,15 @@ Package map
 from repro.baselines import CudaBlastp, FsaBlast, GpuBlastp, NcbiBlast
 from repro.core import Alignment, BlastpPipeline, SearchParams, SearchResult
 from repro.cublastp import CuBlastp, CuBlastpConfig, ExtensionMode
+from repro.engine import (
+    BatchExecutor,
+    CompiledQuery,
+    Engine,
+    EventLog,
+    QueryCache,
+    compile_query,
+    make_engine,
+)
 from repro.gpusim import DeviceSpec, K20C
 from repro.io import (
     SequenceDatabase,
@@ -56,22 +69,29 @@ __version__ = "1.0.0"
 __all__ = [
     "Alignment",
     "BLOSUM62",
+    "BatchExecutor",
     "BlastpPipeline",
+    "CompiledQuery",
     "CuBlastp",
     "CuBlastpConfig",
     "CudaBlastp",
     "DeviceSpec",
+    "Engine",
+    "EventLog",
     "ExtensionMode",
     "FsaBlast",
     "GpuBlastp",
     "K20C",
     "NcbiBlast",
+    "QueryCache",
     "SearchParams",
     "SearchResult",
     "SequenceDatabase",
     "WorkloadSpec",
+    "compile_query",
     "generate_database",
     "generate_query",
+    "make_engine",
     "read_fasta_file",
     "standard_queries",
     "standard_workloads",

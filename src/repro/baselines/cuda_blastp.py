@@ -22,6 +22,7 @@ from repro.cublastp.config import CuBlastpConfig
 from repro.cublastp.cpu_phases import run_cpu_phases
 from repro.cublastp.pipeline import host_other_ms
 from repro.cublastp.session import DeviceSession
+from repro.engine.compiled import CompiledQuery, compile_query
 from repro.gpusim.device import DeviceSpec, K20C
 from repro.gpusim.profiler import KernelProfile
 from repro.gpusim.transfer import TransferModel
@@ -75,13 +76,53 @@ class CudaBlastp:
 
     def __init__(
         self,
-        query: str | np.ndarray,
+        query: "str | np.ndarray | CompiledQuery | None" = None,
         params: SearchParams | None = None,
         device: DeviceSpec = K20C,
     ) -> None:
         self.pipe = BlastpPipeline(query, params)
         self.device = device
-        self.dfa = QueryDFA(self.pipe.lookup.neighborhood)
+
+    @property
+    def params(self) -> SearchParams:
+        return self.pipe.params
+
+    @property
+    def dfa(self) -> QueryDFA:
+        """The compiled query's DFA (built lazily, shared across engines)."""
+        return self.pipe.compiled.dfa
+
+    # -- engine protocol ---------------------------------------------------
+
+    def compile(self, query: "str | np.ndarray") -> CompiledQuery:
+        """Compile ``query`` under this engine's parameters."""
+        return compile_query(query, self.pipe.params)
+
+    def _bind(self, compiled: CompiledQuery) -> "CudaBlastp":
+        if self.pipe.compiled is compiled:
+            return self
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.pipe = BlastpPipeline(compiled)
+        return clone
+
+    def run(
+        self,
+        compiled: CompiledQuery,
+        db: SequenceDatabase,
+        query_id: str | None = None,
+    ) -> SearchResult:
+        """Search ``db`` with an already-compiled query."""
+        return self._bind(compiled).search(db)
+
+    def run_with_report(
+        self,
+        compiled: CompiledQuery,
+        db: SequenceDatabase,
+        query_id: str | None = None,
+    ) -> "tuple[SearchResult, CoarseReport]":
+        """Like :meth:`run`, with the coarse-kernel timing report."""
+        return self._bind(compiled).search_with_report(db)
 
     def _prepare_db(self, db: SequenceDatabase) -> tuple[SequenceDatabase, np.ndarray]:
         """Length-sort the database, returning the old->new id map."""

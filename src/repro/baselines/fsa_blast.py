@@ -17,6 +17,7 @@ from repro.core.pipeline import BlastpPipeline, PhaseCounts
 from repro.core.results import SearchResult
 from repro.core.statistics import SearchParams
 from repro.cublastp.pipeline import host_other_ms
+from repro.engine.compiled import CompiledQuery, compile_query
 from repro.io.database import SequenceDatabase
 from repro.perfmodel.calibration import CostConstants, DEFAULT_COSTS
 from repro.perfmodel.cpu_cost import (
@@ -57,14 +58,61 @@ class FsaBlast:
 
     Parameters mirror :class:`~repro.cublastp.search.CuBlastp`; ``search``
     returns the canonical result, ``search_with_timing`` adds the model.
+    Satisfies the :class:`~repro.engine.protocol.Engine` protocol
+    (``compile`` / ``run`` / ``run_with_report``); ``run_with_report``'s
+    report is the :class:`FsaBlastTiming`.
     """
 
     threads = 1
     costs: CostConstants = DEFAULT_COSTS
     name = "FSA-BLAST"
 
-    def __init__(self, query: str | np.ndarray, params: SearchParams | None = None) -> None:
+    def __init__(
+        self,
+        query: "str | np.ndarray | CompiledQuery | None" = None,
+        params: SearchParams | None = None,
+    ) -> None:
         self.pipe = BlastpPipeline(query, params)
+
+    @property
+    def params(self) -> SearchParams:
+        return self.pipe.params
+
+    # -- engine protocol ---------------------------------------------------
+
+    def compile(self, query: str | np.ndarray) -> CompiledQuery:
+        """Compile ``query`` under this engine's parameters."""
+        return compile_query(query, self.pipe.params)
+
+    def _bind(self, compiled: CompiledQuery) -> "FsaBlast":
+        """This engine (subclass settings included) bound to a compiled query."""
+        if self.pipe.compiled is compiled:
+            return self
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.pipe = BlastpPipeline(compiled)
+        return clone
+
+    def run(
+        self,
+        compiled: CompiledQuery,
+        db: SequenceDatabase,
+        query_id: str | None = None,
+    ) -> SearchResult:
+        """Search ``db`` with an already-compiled query."""
+        return self._bind(compiled).search(db)
+
+    def run_with_report(
+        self,
+        compiled: CompiledQuery,
+        db: SequenceDatabase,
+        query_id: str | None = None,
+    ) -> tuple[SearchResult, FsaBlastTiming]:
+        """Like :meth:`run`, with the per-phase cost model as the report."""
+        result, timing, _ = self._bind(compiled).search_with_timing(db)
+        return result, timing
+
+    # -- per-query API -----------------------------------------------------
 
     def search(self, db: SequenceDatabase) -> SearchResult:
         return self.pipe.search(db)

@@ -23,7 +23,7 @@ class NcbiBlast(FsaBlast):
 
     def __init__(
         self,
-        query: str | np.ndarray,
+        query: "str | np.ndarray | None" = None,
         params: SearchParams | None = None,
         threads: int = 4,
     ) -> None:

@@ -1,48 +1,143 @@
 """Multi-query batch search.
 
 Real BLAST deployments stream many queries against one database; the
-query-side structures (neighbourhood, DFA, PSSM) are rebuilt per query but
-the database stays resident. This helper runs a batch through any engine
-in the package and aggregates the timing — mirroring how the paper's
-evaluation profiles batches of queries drawn from NR.
+query-side structures (neighbourhood, DFA, PSSM) are compiled per query
+but the database stays resident. :func:`batch_search` is the stable
+entry point; it is now a thin shim over the engine layer's
+:class:`~repro.engine.executor.BatchExecutor`, which adds concurrency
+(``jobs``), per-query error isolation, compiled-query caching, and
+streaming consumption — see :mod:`repro.engine`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+import inspect
+from typing import Any, Callable, Iterable
 
 from repro.core.results import SearchResult
 from repro.core.statistics import SearchParams
 from repro.cublastp.config import CuBlastpConfig
-from repro.cublastp.search import CuBlastp
+from repro.engine.compiled import QueryCache
+from repro.engine.executor import BatchExecutor, QueryOutcome
+from repro.engine.protocol import make_engine
 from repro.io.database import SequenceDatabase
 
 
-@dataclass
 class BatchResult:
-    """Outcome of a multi-query batch."""
+    """Outcome of a multi-query batch.
 
-    results: list[tuple[str, SearchResult]] = field(default_factory=list)
-    total_modelled_ms: float = 0.0
+    Wraps the per-query :class:`~repro.engine.executor.QueryOutcome`
+    records (input order). Failed queries keep their error record in
+    :attr:`errors` / :attr:`records` without aborting the batch;
+    successful ones appear in :attr:`results` and :attr:`reports`.
+    """
+
+    def __init__(self, records: list[QueryOutcome] | None = None) -> None:
+        self.records: list[QueryOutcome] = list(records or [])
+        # Query-id index for O(1) result_for (first occurrence wins, as
+        # the former linear scan did).
+        self._by_id: dict[str, QueryOutcome] = {}
+        for rec in self.records:
+            self._by_id.setdefault(rec.query_id, rec)
 
     def __len__(self) -> int:
-        return len(self.results)
+        return len(self.records)
+
+    @property
+    def results(self) -> list[tuple[str, SearchResult]]:
+        """``(query_id, result)`` pairs of the successful queries."""
+        return [(r.query_id, r.result) for r in self.records if r.ok]
+
+    @property
+    def reports(self) -> list[tuple[str, Any]]:
+        """``(query_id, report)`` pairs for queries whose engine reported."""
+        return [(r.query_id, r.report) for r in self.records if r.report is not None]
+
+    @property
+    def errors(self) -> list[tuple[str, Exception]]:
+        """``(query_id, error)`` pairs of the failed queries."""
+        return [(r.query_id, r.error) for r in self.records if not r.ok]
+
+    @property
+    def total_modelled_ms(self) -> float:
+        """Summed modelled end-to-end time over the reporting engines."""
+        return sum(
+            getattr(r.report, "overall_ms", 0.0)
+            for r in self.records
+            if r.report is not None
+        )
 
     @property
     def total_reported(self) -> int:
         return sum(r.num_reported for _, r in self.results)
 
     def result_for(self, query_id: str) -> SearchResult:
-        for qid, r in self.results:
-            if qid == query_id:
-                return r
-        raise KeyError(query_id)
+        """The result of ``query_id`` (O(1); raises the query's error if
+        it failed, :class:`KeyError` if it was never in the batch)."""
+        rec = self._by_id.get(query_id)
+        if rec is None:
+            raise KeyError(query_id)
+        if not rec.ok:
+            raise rec.error
+        return rec.result
 
     def summary(self) -> str:
         from repro.io.report import summary_table
 
         return summary_table(self.results)
+
+
+class _FactoryEngine:
+    """Adapter: a legacy ``factory(sequence, params)`` as an engine.
+
+    Kept for callers that pass bare constructors. The factory receives the
+    raw sequence (exact legacy semantics, no compiled-query sharing); a
+    factory whose signature accepts ``config`` also receives the batch's
+    config — previously it was silently dropped.
+    """
+
+    name = "factory"
+
+    def __init__(
+        self,
+        factory: Callable[..., object],
+        params: SearchParams | None,
+        config: CuBlastpConfig | None,
+    ) -> None:
+        self.factory = factory
+        self.factory_params = params
+        self.config = config
+        self._pass_config = config is not None and self._accepts_config(factory)
+
+    @staticmethod
+    def _accepts_config(factory: Callable[..., object]) -> bool:
+        try:
+            sig_params = inspect.signature(factory).parameters.values()
+        except (TypeError, ValueError):
+            return False
+        return any(
+            p.name == "config" or p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in sig_params
+        )
+
+    def compile(self, query: str) -> str:
+        return query  # opaque: the factory does its own build
+
+    def _make(self, sequence: str):
+        if self._pass_config:
+            return self.factory(sequence, self.factory_params, config=self.config)
+        return self.factory(sequence, self.factory_params)
+
+    def run(self, compiled: str, db: SequenceDatabase, query_id: str | None = None):
+        return self._make(compiled).search(db)
+
+    def run_with_report(
+        self, compiled: str, db: SequenceDatabase, query_id: str | None = None
+    ):
+        engine = self._make(compiled)
+        if hasattr(engine, "search_with_report"):
+            return engine.search_with_report(db)
+        return engine.search(db), None
 
 
 def batch_search(
@@ -51,6 +146,9 @@ def batch_search(
     params: SearchParams | None = None,
     config: CuBlastpConfig | None = None,
     engine_factory: Callable[..., object] | None = None,
+    *,
+    jobs: int = 1,
+    cache: QueryCache | None = None,
 ) -> BatchResult:
     """Search every ``(query_id, sequence)`` pair against ``db``.
 
@@ -59,26 +157,27 @@ def batch_search(
     queries:
         Iterable of ``(identifier, residue string)`` pairs.
     engine_factory:
-        Constructor called as ``factory(sequence, params)`` (baselines) —
-        defaults to cuBLASTP with the given ``config``. Engines must offer
-        ``search`` and optionally ``search_with_report``.
+        Legacy constructor called as ``factory(sequence, params)`` —
+        defaults to cuBLASTP with the given ``config``. Factories whose
+        signature accepts ``config`` receive it too. Prefer passing an
+        :class:`~repro.engine.protocol.Engine` to
+        :class:`~repro.engine.executor.BatchExecutor` directly.
+    jobs:
+        Concurrent worker threads (results stay in input order and are
+        identical to a serial run).
+    cache:
+        Optional :class:`~repro.engine.compiled.QueryCache` for
+        repeated-query traffic.
 
     Returns
     -------
     BatchResult
-        Per-query results in input order, plus the summed modelled time
-        when the engine reports one.
+        Per-query results in input order, plus the per-query reports and
+        the summed modelled time when the engine reports one.
     """
-    out = BatchResult()
-    for qid, seq in queries:
-        if engine_factory is None:
-            engine = CuBlastp(seq, params, config)
-        else:
-            engine = engine_factory(seq, params)
-        if hasattr(engine, "search_with_report"):
-            result, report = engine.search_with_report(db)
-            out.total_modelled_ms += getattr(report, "overall_ms", 0.0)
-        else:
-            result = engine.search(db)
-        out.results.append((qid, result))
-    return out
+    if engine_factory is None:
+        engine = make_engine("cublastp", params, config=config)
+    else:
+        engine = _FactoryEngine(engine_factory, params, config)
+    executor = BatchExecutor(engine, jobs=jobs, cache=cache)
+    return executor.run(queries, db)

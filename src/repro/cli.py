@@ -20,9 +20,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.baselines import CudaBlastp, FsaBlast, GpuBlastp, NcbiBlast
 from repro.core import SearchParams
 from repro.cublastp import CuBlastp, CuBlastpConfig, ExtensionMode
+from repro.engine import ENGINE_NAMES, BatchExecutor, Engine, QueryCache, make_engine
 from repro.io import (
     FastaRecord,
     SequenceDatabase,
@@ -32,14 +32,6 @@ from repro.io import (
 )
 from repro.io.report import format_pairwise, write_tabular
 from repro.io.workloads import WorkloadSpec
-
-ENGINES = {
-    "cublastp": CuBlastp,
-    "fsa": FsaBlast,
-    "ncbi": NcbiBlast,
-    "cuda-blastp": CudaBlastp,
-    "gpu-blastp": GpuBlastp,
-}
 
 
 def _load_queries(arg: str) -> list[tuple[str, str]]:
@@ -70,36 +62,45 @@ def _build_params(args: argparse.Namespace) -> SearchParams:
     )
 
 
+def _make_engine(args: argparse.Namespace) -> Engine:
+    """Build the Engine-protocol instance the arguments select."""
+    params = _build_params(args)
+    config = None
+    if args.engine == "cublastp":
+        config = CuBlastpConfig(
+            extension_mode=ExtensionMode(getattr(args, "extension", "window")),
+            num_bins=getattr(args, "bins", 128),
+            cpu_threads=args.threads,
+        )
+    return make_engine(args.engine, params, config=config, threads=args.threads)
+
+
 def cmd_search(args: argparse.Namespace) -> int:
     queries = _load_queries(args.query)
     db = SequenceDatabase.from_records(read_fasta_file(args.database))
-    params = _build_params(args)
-    engine_cls = ENGINES[args.engine]
+    engine = _make_engine(args)
+    # The executor keeps the database resident, compiles each distinct
+    # query once, runs ``--jobs`` searches concurrently, and streams
+    # outcomes back in input order — so the printed report is identical
+    # for every jobs value.
+    executor = BatchExecutor(
+        engine, jobs=args.jobs, cache=QueryCache(), collect_reports=False
+    )
     first_tabular = True
-    for query_id, query in queries:
-        if args.engine == "ncbi":
-            engine = engine_cls(query, params, threads=args.threads)
-        elif args.engine == "cublastp":
-            engine = engine_cls(
-                query,
-                params,
-                CuBlastpConfig(
-                    extension_mode=ExtensionMode(args.extension),
-                    num_bins=args.bins,
-                    cpu_threads=args.threads,
-                ),
-            )
-        else:
-            engine = engine_cls(query, params)
-        result = engine.search(db)
+    failed = 0
+    for outcome in executor.stream(queries, db):
+        if outcome.error is not None:
+            failed += 1
+            print(f"error: query {outcome.query_id}: {outcome.error}", file=sys.stderr)
+            continue
         if args.outfmt == "tabular":
-            write_tabular(query_id, result, sys.stdout, header=first_tabular)
+            write_tabular(outcome.query_id, outcome.result, sys.stdout, header=first_tabular)
             first_tabular = False
         else:
-            sys.stdout.write(format_pairwise(query_id, result))
+            sys.stdout.write(format_pairwise(outcome.query_id, outcome.result))
             if len(queries) > 1:
                 sys.stdout.write("\n" + "=" * 70 + "\n\n")
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_makedb(args: argparse.Namespace) -> int:
@@ -120,10 +121,13 @@ def cmd_makedb(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.engine import EventLog
+
     query_id, query = _load_query(args.query)
     db = SequenceDatabase.from_records(read_fasta_file(args.database))
     params = _build_params(args)
-    result, report = CuBlastp(query, params).search_with_report(db)
+    events = EventLog()
+    result, report = CuBlastp(query, params, events=events).search_with_report(db)
     print(f"query {query_id} vs {args.database}: {result.summary()}\n")
     print(f"{'kernel':<22} {'ms':>9} {'gld':>6} {'div':>6} {'occ':>6}")
     for name, prof in report.gpu.profiles.items():
@@ -132,14 +136,24 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f"{prof.global_load_efficiency:>6.0%} "
             f"{prof.divergence_overhead:>6.0%} {prof.occupancy:>6.0%}"
         )
+    # The stage table is read off the phase-event stream the search
+    # emitted — the same numbers the report carries, one schema for all
+    # engines.
     print(f"\n{'stage':<22} {'ms':>9}  share")
-    for stage, ms in report.breakdown.items():
+    for stage, ms in events.breakdown(engine=CuBlastp.name).items():
         print(f"{stage:<22} {ms:>9.4f}  {ms / report.serial_ms:>5.0%}")
     print(
         f"\npipelined end-to-end {report.overall_ms:.4f} ms "
         f"(overlap hides {report.overlap_saved_ms:.4f} ms)"
     )
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,12 +180,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_search = sub.add_parser("search", help="run a BLASTP search")
     add_search_args(p_search)
-    p_search.add_argument("--engine", choices=sorted(ENGINES), default="cublastp")
+    p_search.add_argument("--engine", choices=sorted(ENGINE_NAMES), default="cublastp")
     p_search.add_argument(
         "--extension", choices=[m.value for m in ExtensionMode], default="window"
     )
     p_search.add_argument("--bins", type=int, default=128, help="bins per warp")
     p_search.add_argument("--outfmt", choices=["pairwise", "tabular"], default="pairwise")
+    p_search.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="concurrent multi-query searches (results stay in input order)",
+    )
     p_search.set_defaults(func=cmd_search)
 
     p_makedb = sub.add_parser("makedb", help="generate a synthetic FASTA database")

@@ -18,18 +18,19 @@ become the bottleneck as nodes are added, and what
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.pipeline import BlastpPipeline
 from repro.core.results import Alignment, SearchResult
 from repro.core.statistics import SearchParams
 from repro.cublastp.config import CuBlastpConfig
-from repro.cublastp.pipeline import CuBlastpReport, run_cublastp
+from repro.cublastp.pipeline import CuBlastpReport
 from repro.cublastp.search import CuBlastp
 from repro.cluster.partition import Partition, partition_database
+from repro.engine.compiled import CompiledQuery, compile_query
 from repro.gpusim.device import DeviceSpec, K20C
 from repro.io.database import SequenceDatabase
 
@@ -93,7 +94,7 @@ class MultiGpuBlastp:
 
     def __init__(
         self,
-        query: str | np.ndarray,
+        query: str | np.ndarray | CompiledQuery,
         num_nodes: int,
         params: SearchParams | None = None,
         config: CuBlastpConfig | None = None,
@@ -102,39 +103,38 @@ class MultiGpuBlastp:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         self.num_nodes = num_nodes
-        self.params = params or SearchParams()
+        # One shared query compilation (the broadcast structures): every
+        # node binds this CompiledQuery instead of rebuilding the
+        # neighbourhood/DFA/PSSM per node.
+        self.compiled = compile_query(query, params)
+        self.params = self.compiled.params
         self.config = config or CuBlastpConfig()
         self.device = device
-        # One shared query preparation (the broadcast structures).
-        self.searcher = CuBlastp(query, self.params, self.config, device)
+        # The per-node engine prototype (an Engine-protocol instance; swap
+        # it to run the cluster on a different implementation).
+        self.searcher = CuBlastp(self.compiled, None, self.config, device)
 
     # -- per-node execution --------------------------------------------------
 
     def _run_node(self, part: Partition, full_db_residues: int) -> NodeResult:
-        pipe = self.searcher.pipe
         # Statistics must be evaluated against the *whole* search space,
         # not the partition — else per-node cutoffs would differ from the
-        # single-node reference and merged output would diverge.
-        import dataclasses
-
+        # single-node reference and merged output would diverge. The
+        # rebind is cheap: effective_db_residues is execution-side, so the
+        # compiled structures are shared untouched.
         node_params = dataclasses.replace(
             self.params,
             effective_db_residues=self.params.effective_db_residues
             or full_db_residues,
         )
-        node_pipe = BlastpPipeline(pipe.query_codes, node_params)
-        session = CuBlastp(
-            pipe.query_codes, node_params, self.config, self.device
-        )
-        alignments, report = run_cublastp(
-            node_pipe, part.db, session.make_session(part.db), self.config
-        )
+        node_compiled = self.compiled.with_params(node_params)
+        result, report = self.searcher.run_with_report(node_compiled, part.db)
         remapped = [
             dataclasses.replace(
                 a,
                 seq_id=part.to_global(a.seq_id),
             )
-            for a in alignments
+            for a in result.alignments
         ]
         return NodeResult(
             node=part.node,

@@ -11,19 +11,21 @@ actually re-designs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.alphabet import encode
 from repro.core.gapped import GappedExtension, gapped_extend
 from repro.core.hit_detection import DatabaseHits, detect_hits
 from repro.core.results import Alignment, SearchResult, UngappedExtension
 from repro.core.statistics import Cutoffs, SearchParams, resolve_cutoffs
 from repro.core.traceback import traceback_align
 from repro.core.two_hit import select_seeds_and_extend
+from repro.engine.compiled import CompiledQuery, compile_query
 from repro.io.database import SequenceDatabase
-from repro.matrices.pssm import build_pssm
-from repro.seeding.lookup import WordLookupTable
+
+if TYPE_CHECKING:
+    from repro.engine.events import EventLog
 
 
 @dataclass(frozen=True)
@@ -50,39 +52,75 @@ class BlastpPipeline:
     Parameters
     ----------
     query:
-        Query sequence as a residue string or encoded ``uint8`` array.
+        Query sequence as a residue string, an encoded ``uint8`` array, or
+        an already-built :class:`~repro.engine.compiled.CompiledQuery`
+        (shared query-side structures; ``params`` rebinds it when given).
+        ``None`` builds a query-less instance usable only through the
+        engine protocol (:meth:`compile` / :meth:`run`).
     params:
         Search parameters (defaults are the BLASTP standards).
+    events:
+        Optional :class:`~repro.engine.events.EventLog` the phases emit
+        start/end events into.
     """
 
-    def __init__(self, query: str | np.ndarray, params: SearchParams | None = None) -> None:
-        self.params = params or SearchParams()
-        self.query_codes = (
-            encode(query) if isinstance(query, str) else np.asarray(query, dtype=np.uint8)
-        )
-        if self.query_codes.size < self.params.word_length:
-            raise ValueError("query shorter than the word length")
-        self.pssm = build_pssm(self.query_codes, self.params.matrix)
-        self.seg_mask = None
-        if self.params.seg:
-            from repro.seeding.seg import seg_mask
+    #: Engine-protocol name.
+    name = "reference"
 
-            self.seg_mask = seg_mask(self.query_codes)
-        from repro.seeding.words import build_neighborhood
-
-        self.lookup = WordLookupTable(
-            build_neighborhood(
-                self.query_codes,
-                self.params.matrix,
-                self.params.word_length,
-                self.params.threshold,
-                masked=self.seg_mask,
-            )
-        )
+    def __init__(
+        self,
+        query: str | np.ndarray | CompiledQuery | None = None,
+        params: SearchParams | None = None,
+        *,
+        events: EventLog | None = None,
+        query_id: str | None = None,
+    ) -> None:
+        self.events = events
+        self.query_id = query_id
+        if query is None:
+            self.compiled: CompiledQuery | None = None
+            self.params = params or SearchParams()
+            return
+        self.compiled = compile_query(query, params)
+        self.params = self.compiled.params
+        self.query_codes = self.compiled.query_codes
+        self.pssm = self.compiled.pssm
+        self.seg_mask = self.compiled.seg_mask
+        self.lookup = self.compiled.lookup
 
     @property
     def query_length(self) -> int:
         return int(self.query_codes.size)
+
+    # -- engine protocol ---------------------------------------------------
+
+    def compile(self, query: str | np.ndarray) -> CompiledQuery:
+        """Compile ``query`` under this engine's parameters."""
+        return compile_query(query, self.params)
+
+    def _bind(self, compiled: CompiledQuery, query_id: str | None) -> BlastpPipeline:
+        """This engine bound to a compiled query (cheap: no rebuild)."""
+        if compiled is self.compiled and query_id == self.query_id:
+            return self
+        return type(self)(compiled, events=self.events, query_id=query_id)
+
+    def run(
+        self,
+        compiled: CompiledQuery,
+        db: SequenceDatabase,
+        query_id: str | None = None,
+    ) -> SearchResult:
+        """Search ``db`` with an already-compiled query."""
+        return self._bind(compiled, query_id).search(db)
+
+    def run_with_report(
+        self,
+        compiled: CompiledQuery,
+        db: SequenceDatabase,
+        query_id: str | None = None,
+    ) -> tuple[SearchResult, PhaseCounts]:
+        """Like :meth:`run`, with the per-phase work counts as the report."""
+        return self._bind(compiled, query_id).search_with_counts(db)
 
     def cutoffs(self, db: SequenceDatabase) -> Cutoffs:
         """Raw-score cutoffs for this query against ``db``."""
@@ -283,16 +321,39 @@ class BlastpPipeline:
         return result
 
     def search_with_counts(self, db: SequenceDatabase) -> tuple[SearchResult, PhaseCounts]:
-        """Run all four phases and also return the per-phase work counts."""
+        """Run all four phases and also return the per-phase work counts.
+
+        With an :class:`~repro.engine.events.EventLog` attached, each phase
+        emits start/end events carrying its work-item count (the reference
+        pipeline attributes no modelled time — it *is* the semantics, not a
+        performance model).
+        """
+        from contextlib import nullcontext
+
+        def phase(name: str):
+            if self.events is None:
+                return nullcontext({})
+            return self.events.phase(self.name, name, query_id=self.query_id)
+
         cutoffs = self.cutoffs(db)
-        db_hits = self.phase_hit_detection(db)
-        extensions, num_seeds = self.phase_ungapped(db_hits, db, cutoffs)
+        with phase("hit_detection") as ev:
+            db_hits = self.phase_hit_detection(db)
+            ev["work_items"] = len(db_hits)
+        with phase("ungapped_extension") as ev:
+            extensions, num_seeds = self.phase_ungapped(db_hits, db, cutoffs)
+            ev["work_items"] = len(extensions)
         if self.params.ungapped_only:
             gapped, num_triggers = [], 0
-            alignments = self.phase_ungapped_report(extensions, db, cutoffs)
+            with phase("final_alignment") as ev:
+                alignments = self.phase_ungapped_report(extensions, db, cutoffs)
+                ev["work_items"] = len(alignments)
         else:
-            gapped, num_triggers = self.phase_gapped(extensions, db, cutoffs)
-            alignments = self.phase_traceback(gapped, db, cutoffs)
+            with phase("gapped_extension") as ev:
+                gapped, num_triggers = self.phase_gapped(extensions, db, cutoffs)
+                ev["work_items"] = len(gapped)
+            with phase("final_alignment") as ev:
+                alignments = self.phase_traceback(gapped, db, cutoffs)
+                ev["work_items"] = len(alignments)
         counts = PhaseCounts(
             num_hits=len(db_hits),
             num_seeds=num_seeds,

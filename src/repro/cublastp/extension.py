@@ -9,8 +9,6 @@ performance at equal output.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.results import UngappedExtension
 from repro.cublastp.config import ExtensionMode
 from repro.cublastp.ext_common import ExtensionOutput, read_extensions

@@ -20,11 +20,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cublastp.binning import BinnedHits, unpack_hits
+from repro.cublastp.binning import BinnedHits
 from repro.cublastp.session import DeviceSession
 from repro.gpusim.kernel import Kernel, KernelContext, launch
 from repro.gpusim.profiler import KernelProfile
-from repro.gpusim.shared import SharedMemory
 from repro.gpusim.warp import Warp
 
 

@@ -12,6 +12,7 @@ breakdown Fig. 19(d) plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from repro.gpusim.transfer import TransferModel
 from repro.io.database import SequenceDatabase
 from repro.perfmodel.calibration import CPU_CLOCK_GHZ, DEFAULT_COSTS
 from repro.perfmodel.cpu_cost import gapped_work_items, thread_makespan_ms, traceback_work_items
+
+if TYPE_CHECKING:
+    from repro.engine.events import EventLog
 
 
 @dataclass
@@ -154,8 +158,17 @@ def run_cublastp(
     db: SequenceDatabase,
     session: DeviceSession,
     config: CuBlastpConfig,
+    events: "EventLog | None" = None,
+    query_id: str | None = None,
 ) -> tuple[list[Alignment], CuBlastpReport]:
-    """Full cuBLASTP search: GPU phases, CPU phases, pipeline timing."""
+    """Full cuBLASTP search: GPU phases, CPU phases, pipeline timing.
+
+    With an :class:`~repro.engine.events.EventLog`, every stage emits a
+    start/end event pair carrying its work-item count and the modelled
+    time the report attributes to it (kernel profile times, blocked CPU
+    makespans, PCIe transfers, host 'other') — the stream sums to the
+    report's ``serial_ms``.
+    """
     cutoffs = pipe.cutoffs(db)
     gpu = run_gpu_phases(session, pipe, cutoffs)
     cpu = run_cpu_phases(
@@ -209,6 +222,21 @@ def run_cublastp(
         "other": other_ms,
     }
     serial = sum(breakdown.values())
+    if events is not None:
+        stage_items = {
+            "hit_detection": gpu.num_hits,
+            "hit_sorting": gpu.num_hits,
+            "hit_filtering": gpu.num_seeds,
+            "ungapped_extension": len(gpu.extensions),
+            "data_transfer": gpu.h2d_bytes + gpu.d2h_bytes,
+            "gapped_extension": len(cpu.gapped_extensions),
+            "final_alignment": len(cpu.alignments),
+            "other": None,
+        }
+        for stage, ms in breakdown.items():
+            with events.phase("cuBLASTP", stage, query_id=query_id) as ev:
+                ev["work_items"] = stage_items.get(stage)
+                ev["modelled_ms"] = ms
     report = CuBlastpReport(
         gpu=gpu,
         cpu=cpu,

@@ -1,0 +1,39 @@
+"""The unified engine layer: compiled queries, pluggable executors, events.
+
+This package decouples *query compilation* from *execution* — the repo's
+version of the paper's central move of decoupling BLASTP's phases so each
+can be scheduled on the resource that suits it:
+
+* :mod:`~repro.engine.compiled` — :class:`CompiledQuery` (the query-side
+  build: encode, SEG, neighbourhood, lookup/DFA, PSSM, built once and
+  shared across engines and database blocks) and the LRU
+  :class:`QueryCache` for repeated-query traffic;
+* :mod:`~repro.engine.protocol` — the :class:`Engine` protocol every
+  implementation satisfies, and :func:`make_engine` for building engines
+  by registry name;
+* :mod:`~repro.engine.executor` — :class:`BatchExecutor`, the concurrent
+  batch scheduler (database residency, bounded in-flight queries,
+  per-query error isolation, deterministic input-order streaming);
+* :mod:`~repro.engine.events` — the phase-level :class:`PhaseEvent` /
+  :class:`EventLog` stream all engines emit into.
+"""
+
+from repro.engine.compiled import CompiledQuery, QueryCache, compile_query, compile_signature
+from repro.engine.events import EventLog, PhaseEvent
+from repro.engine.executor import BatchExecutor, QueryOutcome
+from repro.engine.protocol import ENGINE_NAMES, Engine, ReportingEngine, make_engine
+
+__all__ = [
+    "ENGINE_NAMES",
+    "BatchExecutor",
+    "CompiledQuery",
+    "Engine",
+    "EventLog",
+    "PhaseEvent",
+    "QueryCache",
+    "QueryOutcome",
+    "ReportingEngine",
+    "compile_query",
+    "compile_signature",
+    "make_engine",
+]

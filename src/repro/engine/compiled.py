@@ -1,0 +1,232 @@
+"""Compiled queries: the query-side build, extracted and shareable.
+
+Every BLASTP implementation in this repo needs the same query-side
+structures before it can touch the database: the encoded residues, the
+optional SEG mask, the T-threshold word neighbourhood, the lookup table /
+DFA over it, and the position-specific scoring matrix. Historically each
+engine rebuilt all of that in its constructor, so a multi-engine
+comparison — or a multi-node cluster search, or a repeated query in a
+service — paid the build once per engine per database block.
+
+:func:`compile_query` performs the build exactly once and packages it as a
+:class:`CompiledQuery` that any engine can execute against any database
+(the :class:`~repro.engine.protocol.Engine` protocol's currency).
+:class:`QueryCache` adds an LRU over compilations keyed on the sequence
+and the *compile-relevant* parameters, for repeated-query traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+import numpy as np
+
+from repro.alphabet import encode
+from repro.matrices.pssm import build_pssm
+from repro.seeding.lookup import WordLookupTable
+from repro.seeding.words import build_neighborhood
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.core imports this module, so a
+    # module-level import of repro.core.statistics would be circular.
+    from repro.core.statistics import SearchParams
+    from repro.seeding.dfa import QueryDFA
+
+
+def compile_signature(params: SearchParams) -> tuple[Hashable, ...]:
+    """The subset of ``params`` the compiled structures depend on.
+
+    Everything else (E-value, gap penalties, window, cutoff bits,
+    effective database size) only affects *execution*, so two parameter
+    sets with equal signatures can share one :class:`CompiledQuery` — the
+    cluster layer relies on this to rebind per-node statistics without
+    recompiling.
+    """
+    return (
+        params.matrix.name,
+        params.matrix.scores.tobytes(),
+        params.word_length,
+        params.threshold,
+        params.seg,
+    )
+
+
+class CompiledQuery:
+    """Immutable query-side build artefacts of one (sequence, params) pair.
+
+    Attributes
+    ----------
+    params:
+        The full search parameters the query was compiled under.
+    query_codes:
+        Encoded query residues (``uint8``).
+    seg_mask:
+        SEG low-complexity mask (or ``None`` when ``params.seg`` is off).
+    lookup:
+        Word lookup table over the T-threshold neighbourhood.
+    pssm:
+        Position-specific scoring matrix (``alphabet x query_length``).
+
+    The DFA form of the neighbourhood (:attr:`dfa`) is built lazily on
+    first access and cached — CPU engines never need it — and the cache is
+    shared across :meth:`with_params` rebindings, so a compiled query run
+    on four cluster nodes builds its DFA once.
+    """
+
+    def __init__(
+        self,
+        params: SearchParams,
+        query_codes: np.ndarray,
+        seg_mask: np.ndarray | None,
+        lookup: WordLookupTable,
+        pssm: np.ndarray,
+        _dfa_cell: list | None = None,
+    ) -> None:
+        self.params = params
+        self.query_codes = query_codes
+        self.seg_mask = seg_mask
+        self.lookup = lookup
+        self.pssm = pssm
+        # One-slot DFA cache shared between with_params() siblings.
+        self._dfa_cell = _dfa_cell if _dfa_cell is not None else []
+        self._dfa_lock = threading.Lock()
+
+    @property
+    def query_length(self) -> int:
+        return int(self.query_codes.size)
+
+    @property
+    def dfa(self) -> "QueryDFA":
+        """The neighbourhood's DFA form (built once, on first use)."""
+        if not self._dfa_cell:
+            with self._dfa_lock:
+                if not self._dfa_cell:
+                    from repro.seeding.dfa import QueryDFA
+
+                    self._dfa_cell.append(QueryDFA(self.lookup.neighborhood))
+        return self._dfa_cell[0]
+
+    def with_params(self, params: SearchParams) -> "CompiledQuery":
+        """This compilation rebound to ``params``.
+
+        Cheap (structure-sharing) when the compile signature matches —
+        only execution-side parameters differ — otherwise a fresh compile.
+        """
+        if params is self.params:
+            return self
+        if compile_signature(params) == compile_signature(self.params):
+            return CompiledQuery(
+                params,
+                self.query_codes,
+                self.seg_mask,
+                self.lookup,
+                self.pssm,
+                _dfa_cell=self._dfa_cell,
+            )
+        return compile_query(self.query_codes, params)
+
+
+def compile_query(
+    query: "str | np.ndarray | CompiledQuery",
+    params: SearchParams | None = None,
+    cache: "QueryCache | None" = None,
+) -> CompiledQuery:
+    """Compile ``query`` under ``params`` (encode, SEG, neighbourhood, PSSM).
+
+    Accepts a residue string, an encoded ``uint8`` array, or an existing
+    :class:`CompiledQuery` (rebound to ``params`` when given). With a
+    ``cache``, repeated compilations of the same (sequence, signature)
+    return the cached object.
+    """
+    if isinstance(query, CompiledQuery):
+        return query if params is None else query.with_params(params)
+    if params is None:
+        from repro.core.statistics import SearchParams
+
+        params = SearchParams()
+    if cache is not None:
+        compiled, _ = cache.get_or_compile(query, params)
+        return compiled
+    return _compile(query, params)
+
+
+def _compile(query: "str | np.ndarray", params: SearchParams) -> CompiledQuery:
+    query_codes = encode(query) if isinstance(query, str) else np.asarray(query, dtype=np.uint8)
+    if query_codes.size < params.word_length:
+        raise ValueError("query shorter than the word length")
+    pssm = build_pssm(query_codes, params.matrix)
+    mask = None
+    if params.seg:
+        from repro.seeding.seg import seg_mask
+
+        mask = seg_mask(query_codes)
+    lookup = WordLookupTable(
+        build_neighborhood(
+            query_codes,
+            params.matrix,
+            params.word_length,
+            params.threshold,
+            masked=mask,
+        )
+    )
+    return CompiledQuery(params, query_codes, mask, lookup, pssm)
+
+
+class QueryCache:
+    """Thread-safe LRU cache of compiled queries.
+
+    Keyed on (sequence, compile signature): two requests for the same
+    sequence under parameter sets that differ only in execution-side
+    settings share one entry (:meth:`get_or_compile` rebinds the cached
+    structures to the requested params). :attr:`hits` / :attr:`misses`
+    count lookups for cache-efficacy reporting.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def _key(query: "str | np.ndarray", params: SearchParams) -> tuple:
+        seq = query if isinstance(query, str) else np.asarray(query, dtype=np.uint8).tobytes()
+        return (seq, compile_signature(params))
+
+    def get_or_compile(
+        self, query: "str | np.ndarray", params: SearchParams
+    ) -> tuple[CompiledQuery, bool]:
+        """Return ``(compiled, was_hit)`` for the query under ``params``."""
+        key = self._key(query, params)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if cached is not None:
+            return cached.with_params(params), True
+        # Compile outside the lock: builds are the expensive part and two
+        # racing threads at worst duplicate one build.
+        compiled = _compile(query, params)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return compiled, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -1,0 +1,179 @@
+"""Phase-level event stream shared by every engine.
+
+Reports, benchmarks, and (future) tracing used to reach into
+``CuBlastpReport`` internals to learn what a search did; the reference
+pipeline exposed nothing at all. Instead, every engine can now emit
+:class:`PhaseEvent` records into an :class:`EventLog` — phase start/end,
+work-item counters, and modelled-ms attribution — so one consumer works
+against every implementation.
+
+The modelled times flowing through the stream are the same numbers the
+engine reports elsewhere (kernel profile times, LPT makespans, transfer
+model times): the event stream *attributes* them, it does not re-derive
+them. A search with no log attached emits nothing and pays nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One phase boundary of one search.
+
+    Attributes
+    ----------
+    engine:
+        Name of the emitting engine (``"reference"``, ``"cuBLASTP"``, ...).
+    phase:
+        Canonical phase name (``"hit_detection"``, ``"gapped_extension"``,
+        ``"data_transfer"``, ...).
+    kind:
+        ``"start"`` or ``"end"``.
+    seq:
+        Position in the log (total order over all threads).
+    work_items:
+        Number of work items the phase processed (hits, seeds, extensions,
+        alignments) — on ``"end"`` events, when the phase counts anything.
+    modelled_ms:
+        Modelled time attributed to the phase — on ``"end"`` events, when
+        the engine prices its phases (the reference pipeline emits counters
+        only; the performance-modelled engines emit both).
+    query_id:
+        Batch query identifier, when the search runs under one.
+    meta:
+        Engine-specific extras (kernel profile stats, thread counts, ...).
+    """
+
+    engine: str
+    phase: str
+    kind: str
+    seq: int
+    work_items: int | None = None
+    modelled_ms: float | None = None
+    query_id: str | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Thread-safe sink and query surface for :class:`PhaseEvent` streams.
+
+    One log may receive events from many concurrent searches (the
+    :class:`~repro.engine.executor.BatchExecutor` threads all share the
+    caller's log); ``seq`` gives the global arrival order and ``query_id``
+    separates interleaved searches.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[PhaseEvent] = []
+
+    def emit(
+        self,
+        engine: str,
+        phase: str,
+        kind: str,
+        *,
+        work_items: int | None = None,
+        modelled_ms: float | None = None,
+        query_id: str | None = None,
+        **meta: Any,
+    ) -> PhaseEvent:
+        """Append one event (thread-safe) and return it."""
+        with self._lock:
+            event = PhaseEvent(
+                engine=engine,
+                phase=phase,
+                kind=kind,
+                seq=len(self._events),
+                work_items=work_items,
+                modelled_ms=modelled_ms,
+                query_id=query_id,
+                meta=meta,
+            )
+            self._events.append(event)
+        return event
+
+    @contextmanager
+    def phase(
+        self, engine: str, phase: str, query_id: str | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Emit a start/end pair around a block.
+
+        Yields a dict the block may fill with ``work_items``,
+        ``modelled_ms``, and any extra metadata to attach to the end event.
+        """
+        self.emit(engine, phase, "start", query_id=query_id)
+        attrs: dict[str, Any] = {}
+        try:
+            yield attrs
+        finally:
+            self.emit(
+                engine,
+                phase,
+                "end",
+                work_items=attrs.pop("work_items", None),
+                modelled_ms=attrs.pop("modelled_ms", None),
+                query_id=query_id,
+                **attrs,
+            )
+
+    # -- consumption -------------------------------------------------------
+
+    @property
+    def events(self) -> list[PhaseEvent]:
+        """Snapshot of all events in arrival order."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def ends(
+        self, engine: str | None = None, query_id: str | None = None
+    ) -> list[PhaseEvent]:
+        """All ``"end"`` events, optionally filtered by engine / query."""
+        return [
+            e
+            for e in self.events
+            if e.kind == "end"
+            and (engine is None or e.engine == engine)
+            and (query_id is None or e.query_id == query_id)
+        ]
+
+    def breakdown(
+        self, engine: str | None = None, query_id: str | None = None
+    ) -> dict[str, float]:
+        """Phase -> summed modelled ms over matching end events.
+
+        This is the event-stream view of the per-report ``breakdown``
+        dicts: identical numbers, one schema for every engine.
+        """
+        out: dict[str, float] = {}
+        for e in self.ends(engine, query_id):
+            if e.modelled_ms is not None:
+                out[e.phase] = out.get(e.phase, 0.0) + e.modelled_ms
+        return out
+
+    def work_items(
+        self, phase: str, engine: str | None = None, query_id: str | None = None
+    ) -> int:
+        """Summed work items of one phase over matching end events."""
+        return sum(
+            e.work_items or 0 for e in self.ends(engine, query_id) if e.phase == phase
+        )
+
+    def modelled_ms(
+        self, engine: str | None = None, query_id: str | None = None
+    ) -> float:
+        """Total modelled ms attributed over matching end events."""
+        return sum(self.breakdown(engine, query_id).values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,165 @@
+"""Concurrent batch scheduler over any engine.
+
+Real deployments stream many queries against one resident database.
+:class:`BatchExecutor` replaces the serial loop every caller used to
+hand-roll: it compiles each query once (through an optional
+:class:`~repro.engine.compiled.QueryCache` for repeated-query traffic),
+schedules searches on a bounded thread pool, isolates per-query failures,
+and yields outcomes in input order — streamed, so a consumer can render
+query *k*'s result while query *k+N* is still in flight.
+
+The database stays resident for the whole batch (it is shared read-only
+by every worker), mirroring how the paper's evaluation amortises database
+residency across a query stream.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.engine.compiled import CompiledQuery, QueryCache
+from repro.engine.events import EventLog
+from repro.engine.protocol import Engine, make_engine
+
+if TYPE_CHECKING:
+    from repro.batch import BatchResult
+    from repro.core.results import SearchResult
+    from repro.io.database import SequenceDatabase
+
+
+@dataclass
+class QueryOutcome:
+    """Outcome of one query in a batch.
+
+    Exactly one of :attr:`result` / :attr:`error` is set: a failing query
+    produces an error record instead of aborting the batch.
+    """
+
+    index: int
+    query_id: str
+    result: "SearchResult | None" = None
+    report: Any | None = None
+    error: Exception | None = None
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _accepts_config(factory: Any) -> bool:
+    """Whether a legacy engine factory can take a ``config`` argument."""
+    try:
+        params = inspect.signature(factory).parameters.values()
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    return any(
+        p.name == "config" or p.kind is inspect.Parameter.VAR_KEYWORD for p in params
+    )
+
+
+class BatchExecutor:
+    """Thread-pooled scheduler running a query stream through one engine.
+
+    Parameters
+    ----------
+    engine:
+        Any :class:`~repro.engine.protocol.Engine` (defaults to cuBLASTP
+        with default parameters — see :func:`~repro.engine.protocol.make_engine`).
+    jobs:
+        Worker threads. ``1`` runs inline (no pool); results are in input
+        order and byte-identical regardless of ``jobs``.
+    max_in_flight:
+        Bound on submitted-but-unconsumed queries (defaults to
+        ``2 * jobs``) — backpressure for unbounded query streams.
+    cache:
+        Optional :class:`~repro.engine.compiled.QueryCache`; repeated
+        sequences skip recompilation and outcomes flag ``cache_hit``.
+    collect_reports:
+        Attach the engine's timing report to each outcome when the engine
+        supports ``run_with_report``.
+    events:
+        Optional :class:`~repro.engine.events.EventLog` shared with the
+        engine, for phase-level consumption of the whole batch.
+    """
+
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        *,
+        jobs: int = 1,
+        max_in_flight: int | None = None,
+        cache: QueryCache | None = None,
+        collect_reports: bool = True,
+        events: EventLog | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        if max_in_flight is not None and max_in_flight < jobs:
+            raise ValueError("max_in_flight must be >= jobs")
+        self.engine = engine if engine is not None else make_engine("cublastp", events=events)
+        self.jobs = jobs
+        self.max_in_flight = max_in_flight if max_in_flight is not None else 2 * jobs
+        self.cache = cache
+        self.collect_reports = collect_reports
+        self.events = events
+
+    # -- per-query work ----------------------------------------------------
+
+    def _compile(self, sequence: str) -> tuple[CompiledQuery | Any, bool]:
+        if self.cache is not None:
+            params = getattr(self.engine, "params", None)
+            if params is not None:
+                return self.cache.get_or_compile(sequence, params)
+        return self.engine.compile(sequence), False
+
+    def _execute(self, index: int, query_id: str, sequence: str, db: "SequenceDatabase") -> QueryOutcome:
+        try:
+            compiled, cache_hit = self._compile(sequence)
+            runner = getattr(self.engine, "run_with_report", None)
+            if self.collect_reports and runner is not None:
+                result, report = runner(compiled, db, query_id=query_id)
+            else:
+                result, report = self.engine.run(compiled, db, query_id=query_id), None
+            return QueryOutcome(
+                index, query_id, result=result, report=report, cache_hit=cache_hit
+            )
+        except Exception as exc:  # per-query isolation: record, don't abort
+            return QueryOutcome(index, query_id, error=exc)
+
+    # -- scheduling --------------------------------------------------------
+
+    def stream(
+        self, queries: Iterable[tuple[str, str]], db: "SequenceDatabase"
+    ) -> Iterator[QueryOutcome]:
+        """Yield one :class:`QueryOutcome` per query, in input order.
+
+        Consumption drives submission: at most :attr:`max_in_flight`
+        queries are in flight ahead of the consumer.
+        """
+        if self.jobs == 1:
+            for index, (query_id, sequence) in enumerate(queries):
+                yield self._execute(index, query_id, sequence, db)
+            return
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ThreadPoolExecutor(max_workers=self.jobs, thread_name_prefix="repro-batch")
+        try:
+            pending: deque = deque()
+            for index, (query_id, sequence) in enumerate(queries):
+                pending.append(pool.submit(self._execute, index, query_id, sequence, db))
+                while len(pending) >= self.max_in_flight:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def run(self, queries: Iterable[tuple[str, str]], db: "SequenceDatabase") -> "BatchResult":
+        """Run the whole batch and aggregate it into a :class:`BatchResult`."""
+        from repro.batch import BatchResult
+
+        return BatchResult(list(self.stream(queries, db)))

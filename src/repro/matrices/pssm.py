@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.alphabet import ALPHABET_SIZE
 from repro.matrices.blosum import ScoringMatrix
 
 #: Bytes per PSSM column: one int16 score for each alphabet symbol, padded to

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.alphabet import encode
 from repro.cublastp import CuBlastpConfig, ExtensionMode
 from repro.cublastp.extension import run_extension
 from repro.cublastp.filter_kernel import run_filter

@@ -8,7 +8,7 @@ from repro.alphabet import ALPHABET, decode, encode
 from repro.cublastp.binning import pack_hits, unpack_hits
 from repro.gpusim import K20C, ReadOnlyCache
 from repro.gpusim.memory import coalesce_transactions
-from repro.io import FastaRecord, read_fasta, write_fasta
+from repro.io import FastaRecord, read_fasta
 
 
 protein_text = st.text(alphabet=ALPHABET, min_size=1, max_size=200)

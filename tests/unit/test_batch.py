@@ -63,3 +63,65 @@ class TestBatchSearch:
         batch = batch_search([], tiny_db, tiny_params)
         assert len(batch) == 0
         assert isinstance(batch, BatchResult)
+
+    def test_jobs_match_serial(self, queries, tiny_db, tiny_params):
+        serial = batch_search(queries, tiny_db, tiny_params)
+        threaded = batch_search(queries, tiny_db, tiny_params, jobs=4)
+        assert [qid for qid, _ in threaded.results] == [
+            qid for qid, _ in serial.results
+        ]
+        for (_, a), (_, b) in zip(serial.results, threaded.results):
+            assert [(x.seq_id, x.score) for x in a.alignments] == [
+                (x.seq_id, x.score) for x in b.alignments
+            ]
+        assert threaded.total_modelled_ms == pytest.approx(serial.total_modelled_ms)
+
+    def test_reports_are_kept(self, queries, tiny_db, tiny_params):
+        batch = batch_search(queries, tiny_db, tiny_params)
+        assert [qid for qid, _ in batch.reports] == [qid for qid, _ in queries]
+        assert all(r.overall_ms > 0 for _, r in batch.reports)
+        assert batch.total_modelled_ms == pytest.approx(
+            sum(r.overall_ms for _, r in batch.reports)
+        )
+
+    def test_engine_factory_receives_config(self, queries, tiny_db, tiny_params):
+        from repro.cublastp import CuBlastpConfig
+
+        captured = []
+
+        def factory(seq, params, config=None):
+            captured.append(config)
+            from repro.cublastp import CuBlastp
+
+            return CuBlastp(seq, params, config)
+
+        cfg = CuBlastpConfig(cpu_threads=2)
+        batch_search(queries[:1], tiny_db, tiny_params, config=cfg, engine_factory=factory)
+        assert captured == [cfg]
+
+    def test_engine_factory_without_config_param(self, queries, tiny_db, tiny_params):
+        from repro.cublastp import CuBlastpConfig
+
+        # A two-argument factory must still work when a config is supplied
+        # (the old code dropped it; the new one only passes it to
+        # factories that can accept it).
+        batch = batch_search(
+            queries[:1],
+            tiny_db,
+            tiny_params,
+            config=CuBlastpConfig(cpu_threads=2),
+            engine_factory=FsaBlast,
+        )
+        assert len(batch) == 1
+        assert not batch.errors
+
+    def test_bad_query_isolated(self, queries, tiny_db, tiny_params):
+        bad = [("broken", "MK")] + list(queries)
+        batch = batch_search(bad, tiny_db, tiny_params)
+        assert [qid for qid, _ in batch.errors] == ["broken"]
+        assert [qid for qid, _ in batch.results] == [qid for qid, _ in queries]
+
+    def test_result_for_uses_index(self, queries, tiny_db, tiny_params):
+        batch = batch_search(queries, tiny_db, tiny_params)
+        assert "q1" in batch._by_id
+        assert batch.result_for("q1") is batch._by_id["q1"].result

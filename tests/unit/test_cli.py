@@ -96,6 +96,63 @@ class TestSearch:
         with pytest.raises(SystemExit):
             main(["search", "not_a_file_123", workspace["db"]])
 
+    def test_multi_query_fasta(self, workspace, capsys):
+        recs = read_fasta_file(workspace["db"])
+        multi = workspace["dir"] / "multi.fasta"
+        multi.write_text(
+            f">qa\n{recs[2].sequence[:90]}\n>qb\n{recs[5].sequence[:90]}\n"
+        )
+        rc = main(
+            ["search", str(multi), workspace["db"], "--outfmt", "tabular",
+             "--effective-db-size", "100000000"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        qids = {l.split("\t")[0] for l in out.splitlines() if not l.startswith("#")}
+        assert qids == {"qa", "qb"}
+
+    @pytest.mark.parametrize("jobs", ["1", "3"])
+    def test_jobs_output_identical(self, workspace, capsys, jobs):
+        recs = read_fasta_file(workspace["db"])
+        multi = workspace["dir"] / "jobs.fasta"
+        multi.write_text(
+            ">j0\n{}\n>j1\n{}\n>j2\n{}\n".format(
+                recs[2].sequence[:90], recs[5].sequence[:90], recs[9].sequence[:90]
+            )
+        )
+        rc = main(
+            ["search", str(multi), workspace["db"], "--outfmt", "tabular",
+             "--jobs", jobs, "--effective-db-size", "100000000"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        if not hasattr(type(self), "_jobs_outputs"):
+            type(self)._jobs_outputs = {}
+        self._jobs_outputs[jobs] = out
+        if len(self._jobs_outputs) == 2:
+            assert self._jobs_outputs["1"] == self._jobs_outputs["3"]
+
+    def test_jobs_zero_rejected(self, workspace, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", workspace["query"], workspace["db"], "--jobs", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_with_repeated_query_hits_cache(self, workspace, capsys):
+        recs = read_fasta_file(workspace["db"])
+        multi = workspace["dir"] / "repeat.fasta"
+        seq = recs[2].sequence[:90]
+        multi.write_text(f">r0\n{seq}\n>r1\n{seq}\n")
+        rc = main(
+            ["search", str(multi), workspace["db"], "--outfmt", "tabular",
+             "--jobs", "2", "--effective-db-size", "100000000"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = [l for l in out.splitlines() if not l.startswith("#")]
+        r0 = sorted(l.split("\t", 1)[1] for l in lines if l.startswith("r0"))
+        r1 = sorted(l.split("\t", 1)[1] for l in lines if l.startswith("r1"))
+        assert r0 == r1  # identical rows for the identical (cached) query
+
 
 class TestProfile:
     def test_profile_sections(self, workspace, capsys):

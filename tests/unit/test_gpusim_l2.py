@@ -1,7 +1,6 @@
 """Unit tests for the optional L2 model."""
 
 import numpy as np
-import pytest
 
 from repro.gpusim import K20C, KernelContext, MemorySpace, ReadOnlyCache, SharedMemory, Warp
 from repro.gpusim.cache import make_l2_cache

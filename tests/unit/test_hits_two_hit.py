@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import BlastpPipeline, HitArray, diagonal_of
+from repro.core import HitArray, diagonal_of
 from repro.core.two_hit import seed_mask, select_seeds_and_extend
 from repro.io import SequenceDatabase
 

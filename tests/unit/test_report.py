@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 from repro.core.results import Alignment, SearchResult
 from repro.io.report import (
     TABULAR_COLUMNS,

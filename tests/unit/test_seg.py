@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.alphabet import encode
-from repro.core import BlastpPipeline, SearchParams
+from repro.core import BlastpPipeline
 from repro.seeding.seg import masked_fraction, seg_mask, window_entropy
 
 
