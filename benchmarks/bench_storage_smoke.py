@@ -1,0 +1,98 @@
+"""Storage-layer micro-benchmark and zero-copy smoke check (CI-gated).
+
+Builds a 10k-sequence synthetic database, exercises the hot storage
+paths — ``blocks()``, contiguous and interleaved partitioning, binary
+save + mmap reload — and *asserts* the zero-copy guarantees (via
+``np.shares_memory``) so a regression that silently reintroduces residue
+copies fails CI rather than just getting slower.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_storage_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.partition import partition_database
+from repro.io import DatabaseView, SequenceDatabase
+
+NUM_SEQUENCES = 10_000
+MEAN_LENGTH = 250
+NUM_BLOCKS = 16
+NUM_NODES = 8
+
+
+def build_synthetic(num_sequences: int, mean_length: int, seed: int = 0) -> SequenceDatabase:
+    """Directly assemble a packed database (no workload machinery)."""
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(mean_length // 2, mean_length * 2, size=num_sequences)
+    offsets = np.zeros(num_sequences + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    codes = rng.integers(0, 20, size=int(offsets[-1]), dtype=np.uint8)
+    return SequenceDatabase(codes, offsets)
+
+
+def timed(label: str, fn):
+    t0 = time.perf_counter()
+    out = fn()
+    ms = (time.perf_counter() - t0) * 1e3
+    print(f"  {label:<38} {ms:8.2f} ms")
+    return out
+
+
+def main() -> int:
+    print(f"storage smoke: {NUM_SEQUENCES} sequences, mean length {MEAN_LENGTH}")
+    db = timed("build synthetic database", lambda: build_synthetic(NUM_SEQUENCES, MEAN_LENGTH))
+
+    blocks = timed(f"blocks({NUM_BLOCKS})", lambda: db.blocks(NUM_BLOCKS))
+    assert all(isinstance(b, DatabaseView) for b in blocks), "blocks must be views"
+    assert all(
+        np.shares_memory(b.codes, db.codes) for b in blocks
+    ), "blocks() must not allocate new codes buffers"
+    assert sum(int(b.codes.size) for b in blocks) == int(db.codes.size)
+
+    contiguous = timed(
+        f"partition_database(contiguous, {NUM_NODES})",
+        lambda: partition_database(db, NUM_NODES, interleaved=False),
+    )
+    assert all(
+        np.shares_memory(p.db.codes, db.codes) for p in contiguous
+    ), "contiguous partitions must share the parent's codes buffer"
+
+    interleaved = timed(
+        f"partition_database(interleaved, {NUM_NODES})",
+        lambda: partition_database(db, NUM_NODES, interleaved=True),
+    )
+    assert sum(len(p.db) for p in interleaved) == len(db)
+    # Spot-check the vectorised gather against direct parent reads.
+    for p in interleaved[:2]:
+        for local in (0, len(p.db) // 2, len(p.db) - 1):
+            assert np.array_equal(
+                p.db.sequence(local), db.sequence(p.to_global(local))
+            ), "interleaved gather corrupted a sequence"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "smoke.rpdb"
+        timed("binary save", lambda: db.save(path))
+        reloaded = timed("mmap reload", lambda: SequenceDatabase.load(path))
+        assert not reloaded.codes.flags.writeable, "mmap reload must be read-only"
+        assert np.array_equal(reloaded.offsets, db.offsets)
+        v = reloaded.view(0, len(reloaded) // 2)
+        assert np.shares_memory(v.codes, reloaded.codes), "views of mmap dbs must share"
+
+    sub = timed(
+        "vectorised subset (1k random)",
+        lambda: db.subset(np.random.default_rng(1).integers(0, len(db), 1000)),
+    )
+    assert len(sub) == 1000
+    print("storage smoke: all zero-copy assertions held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

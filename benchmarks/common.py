@@ -20,7 +20,12 @@ from repro.baselines import CudaBlastp, FsaBlast, GpuBlastp, NcbiBlast
 from repro.core import SearchParams
 from repro.cublastp import CuBlastp, CuBlastpConfig, ExtensionMode
 from repro.engine import QueryCache, compile_query
-from repro.io import generate_database, standard_queries, standard_workloads
+from repro.io import (
+    DatabaseStore,
+    generate_database,
+    standard_queries,
+    standard_workloads,
+)
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
 
@@ -42,16 +47,16 @@ class Lab:
         self.specs["swissprot_rich"] = replace(
             self.specs["swissprot_mini"], name="swissprot_rich", homolog_fraction=0.08
         )
-        self._dbs = {}
+        # Databases stay resident in a store for the whole suite: one
+        # generation per workload, shared (read-only) by every engine.
+        self.store = DatabaseStore(capacity=len(self.specs) + 2)
         self._queries = {}
         # One compile per (db, query): every engine and configuration in
         # the suite binds the same CompiledQuery (engine-layer sharing).
         self._compile_cache = QueryCache(capacity=64)
 
     def db(self, name: str):
-        if name not in self._dbs:
-            self._dbs[name] = generate_database(self.specs[name])
-        return self._dbs[name]
+        return self.store.get(name, lambda: generate_database(self.specs[name]))
 
     def query(self, db_name: str, q_name: str) -> str:
         key = (db_name, q_name)

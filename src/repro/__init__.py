@@ -54,8 +54,11 @@ from repro.engine import (
 )
 from repro.gpusim import DeviceSpec, K20C
 from repro.io import (
+    DatabaseStore,
+    DatabaseView,
     SequenceDatabase,
     WorkloadSpec,
+    get_default_store,
     generate_database,
     generate_query,
     read_fasta_file,
@@ -75,6 +78,8 @@ __all__ = [
     "CuBlastp",
     "CuBlastpConfig",
     "CudaBlastp",
+    "DatabaseStore",
+    "DatabaseView",
     "DeviceSpec",
     "Engine",
     "EventLog",
@@ -91,6 +96,7 @@ __all__ = [
     "compile_query",
     "generate_database",
     "generate_query",
+    "get_default_store",
     "make_engine",
     "read_fasta_file",
     "standard_queries",

@@ -142,7 +142,7 @@ class _FactoryEngine:
 
 def batch_search(
     queries: Iterable[tuple[str, str]],
-    db: SequenceDatabase,
+    db: SequenceDatabase | str,
     params: SearchParams | None = None,
     config: CuBlastpConfig | None = None,
     engine_factory: Callable[..., object] | None = None,
@@ -156,6 +156,10 @@ def batch_search(
     ----------
     queries:
         Iterable of ``(identifier, residue string)`` pairs.
+    db:
+        A resident database, or a path to one saved with
+        :meth:`SequenceDatabase.save` (resolved through the default
+        :class:`~repro.io.store.DatabaseStore`).
     engine_factory:
         Legacy constructor called as ``factory(sequence, params)`` —
         defaults to cuBLASTP with the given ``config``. Factories whose

@@ -9,9 +9,17 @@ Commands
 ``makedb``
     Generate a synthetic database (the workload generator) as FASTA, for
     trying the tool without real data.
+``db build`` / ``db inspect``
+    Convert a FASTA database to the versioned binary format (mmap-loaded,
+    no re-encoding on open) and print a saved database's header and
+    statistics.
 ``profile``
     Run a search and print the simulated GPU kernel profiles and the
     end-to-end breakdown (the Fig. 19 view for your own inputs).
+
+Database arguments everywhere accept either a FASTA file or a saved
+binary database; binary paths open through the process-wide
+:class:`~repro.io.store.DatabaseStore` (resident, mmap-backed).
 """
 
 from __future__ import annotations
@@ -27,11 +35,20 @@ from repro.io import (
     FastaRecord,
     SequenceDatabase,
     generate_database,
+    get_default_store,
     read_fasta_file,
     write_fasta,
 )
+from repro.io import storage
 from repro.io.report import format_pairwise, write_tabular
 from repro.io.workloads import WorkloadSpec
+
+
+def _load_database(arg: str) -> SequenceDatabase:
+    """Resolve a database argument: binary store path or FASTA file."""
+    if storage.sniff_format(arg) in ("binary", "npz"):
+        return get_default_store().open(arg)
+    return SequenceDatabase.from_records(read_fasta_file(arg))
 
 
 def _load_queries(arg: str) -> list[tuple[str, str]]:
@@ -77,7 +94,7 @@ def _make_engine(args: argparse.Namespace) -> Engine:
 
 def cmd_search(args: argparse.Namespace) -> int:
     queries = _load_queries(args.query)
-    db = SequenceDatabase.from_records(read_fasta_file(args.database))
+    db = _load_database(args.database)
     engine = _make_engine(args)
     # The executor keeps the database resident, compiles each distinct
     # query once, runs ``--jobs`` searches concurrently, and streams
@@ -120,11 +137,55 @@ def cmd_makedb(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_db_build(args: argparse.Namespace) -> int:
+    if storage.sniff_format(args.input) in ("binary", "npz"):
+        db = SequenceDatabase.load(args.input)  # migrate (e.g. legacy .npz)
+    else:
+        records = read_fasta_file(args.input)
+        if not records:
+            raise SystemExit(f"error: {args.input}: no FASTA records")
+        db = SequenceDatabase.from_records(records)
+    db.save(args.output)
+    st = db.stats()
+    print(
+        f"wrote {args.output}: {st.num_sequences} sequences, "
+        f"{st.total_residues:,} residues "
+        f"(format v{storage.FORMAT_VERSION}, mmap-loadable)"
+    )
+    return 0
+
+
+def cmd_db_inspect(args: argparse.Namespace) -> int:
+    fmt = storage.sniff_format(args.database)
+    if fmt == "unknown":
+        raise SystemExit(f"error: {args.database}: not a saved database")
+    if fmt == "npz":
+        print(f"{args.database}: legacy .npz archive (deprecated; re-save "
+              "with 'repro db build' to migrate)")
+        db = SequenceDatabase.load(args.database)
+    else:
+        head = storage.read_header(args.database)
+        print(f"{args.database}: repro binary database")
+        print(f"  format version  {head['version']}")
+        print(f"  file size       {head['file_bytes']:,} B")
+        print(f"  codes section   {head['codes_len']:,} B @ {head['off_codes']}")
+        print(f"  offsets section {(head['num_sequences'] + 1) * 8:,} B @ {head['off_offsets']}")
+        db = get_default_store().open(args.database)
+    st = db.stats()
+    print(f"  sequences       {st.num_sequences:,}")
+    print(f"  residues        {st.total_residues:,}")
+    print(f"  length          min {st.min_length} / mean {st.mean_length:.1f} / max {st.max_length}")
+    if args.identifiers:
+        for i in range(min(args.identifiers, len(db))):
+            print(f"    [{i}] {db.identifier(i)} ({int(db.lengths[i])} aa)")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.engine import EventLog
 
     query_id, query = _load_query(args.query)
-    db = SequenceDatabase.from_records(read_fasta_file(args.database))
+    db = _load_database(args.database)
     params = _build_params(args)
     events = EventLog()
     result, report = CuBlastp(query, params, events=events).search_with_report(db)
@@ -193,6 +254,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="concurrent multi-query searches (results stay in input order)",
     )
     p_search.set_defaults(func=cmd_search)
+
+    p_db = sub.add_parser("db", help="manage saved binary databases")
+    db_sub = p_db.add_subparsers(dest="db_command", required=True)
+    p_build = db_sub.add_parser(
+        "build", help="convert FASTA (or legacy .npz) to the binary format"
+    )
+    p_build.add_argument("input", help="FASTA file or legacy .npz archive")
+    p_build.add_argument("output", help="output binary database path")
+    p_build.set_defaults(func=cmd_db_build)
+    p_inspect = db_sub.add_parser("inspect", help="print a saved database's header and stats")
+    p_inspect.add_argument("database", help="saved database path")
+    p_inspect.add_argument(
+        "--identifiers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also list the first N sequence identifiers",
+    )
+    p_inspect.set_defaults(func=cmd_db_inspect)
 
     p_makedb = sub.add_parser("makedb", help="generate a synthetic FASTA database")
     p_makedb.add_argument("output", help="output FASTA path")

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.cluster.partition import Partition, partition_database
 from repro.engine.compiled import CompiledQuery, compile_query
 from repro.gpusim.device import DeviceSpec, K20C
 from repro.io.database import SequenceDatabase
+from repro.io.store import DatabaseStore, get_default_store
 
 #: Serialized size of one alignment record on the wire (coordinates,
 #: scores, and the rendered alignment rows — BLAST ships the traceback).
@@ -99,10 +101,14 @@ class MultiGpuBlastp:
         params: SearchParams | None = None,
         config: CuBlastpConfig | None = None,
         device: DeviceSpec = K20C,
+        *,
+        store: DatabaseStore | None = None,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         self.num_nodes = num_nodes
+        #: Store resolving database paths and caching shard partitions.
+        self.store = store
         # One shared query compilation (the broadcast structures): every
         # node binds this CompiledQuery instead of rebuilding the
         # neighbourhood/DFA/PSSM per node.
@@ -152,9 +158,29 @@ class MultiGpuBlastp:
         merged = list(heapq.merge(*per_node, key=key))
         return merged[:cap]
 
-    def search_with_report(self, db: SequenceDatabase) -> tuple[SearchResult, ClusterReport]:
-        """Run the cluster search over ``db``."""
-        parts = partition_database(db, self.num_nodes)
+    def search_with_report(
+        self, db: SequenceDatabase | str | Path
+    ) -> tuple[SearchResult, ClusterReport]:
+        """Run the cluster search over ``db`` (a database or a saved path).
+
+        Paths resolve through the :class:`~repro.io.store.DatabaseStore`,
+        which also caches the node partitioning — successive queries
+        against the same resident database fragment it once.
+        """
+        if isinstance(db, (str, Path)):
+            if self.store is None:
+                self.store = get_default_store()
+            handles = self.store.shards(db, self.num_nodes)
+            parts = [h.partition for h in handles]
+            db = self.store.open(db)
+        elif self.store is not None:
+            self.store.add(f"<cluster-db-{id(db)}>", db)
+            parts = [
+                h.partition
+                for h in self.store.shards(f"<cluster-db-{id(db)}>", self.num_nodes)
+            ]
+        else:
+            parts = partition_database(db, self.num_nodes)
         full_residues = int(db.codes.size)
         nodes = [self._run_node(p, full_residues) for p in parts]
 
@@ -203,6 +229,6 @@ class MultiGpuBlastp:
         )
         return result, report
 
-    def search(self, db: SequenceDatabase) -> SearchResult:
+    def search(self, db: SequenceDatabase | str | Path) -> SearchResult:
         result, _ = self.search_with_report(db)
         return result

@@ -6,10 +6,16 @@ Two schemes, as in the mpiBLAST lineage:
   n+2N, ...``. Homologs of any query are spread statistically evenly, so
   per-node gapped/traceback work balances; this is why mpiBLAST
   distributes fragments round-robin rather than carving contiguous ranges.
+  The selection is non-contiguous, so each fragment is materialised — in
+  one vectorised gather through
+  :meth:`~repro.io.database.SequenceDatabase.subset`, not a per-sequence
+  Python loop.
 * **contiguous** — residue-balanced ranges; simpler mapping, but a query
   whose homologs cluster in one region of the database lands all of its
   CPU-phase work on one node (the imbalance the interleaved scheme fixes,
-  measurable by flipping the flag).
+  measurable by flipping the flag). Each fragment is a zero-copy
+  :class:`~repro.io.database.DatabaseView` sharing the parent's residue
+  storage — fragmenting the database across nodes copies nothing.
 """
 
 from __future__ import annotations
@@ -54,14 +60,16 @@ def partition_database(
             ids = np.arange(n, len(db), num_nodes, dtype=np.int64)
             parts.append(Partition(node=n, global_ids=ids, db=db.subset(ids)))
         return parts
-    target = int(db.codes.size) / num_nodes
-    bounds = [0]
-    for n in range(1, num_nodes):
-        cut = int(np.searchsorted(db.offsets, n * target))
-        cut = min(max(cut, bounds[-1] + 1), len(db) - (num_nodes - n))
-        bounds.append(cut)
-    bounds.append(len(db))
-    for n in range(num_nodes):
-        ids = np.arange(bounds[n], bounds[n + 1], dtype=np.int64)
-        parts.append(Partition(node=n, global_ids=ids, db=db.subset(ids)))
+    # Contiguous: the residue-balanced block cuts double as node bounds,
+    # and every fragment is a zero-copy view of the parent.
+    bounds = db.block_bounds(num_nodes)
+    for n in range(bounds.size - 1):
+        start, stop = int(bounds[n]), int(bounds[n + 1])
+        parts.append(
+            Partition(
+                node=n,
+                global_ids=np.arange(start, stop, dtype=np.int64),
+                db=db.view(start, stop),
+            )
+        )
     return parts

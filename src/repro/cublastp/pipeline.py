@@ -180,10 +180,13 @@ def run_cublastp(
     d2h_ms = transfer.d2h_ms(gpu.d2h_bytes)
     other_ms = host_other_ms(db, pipe.query_length)
 
-    # Block split: residue share per block; CPU work assigned by the block
-    # that owns each gapped extension's sequence.
-    blocks = config.num_db_blocks
-    bounds = np.linspace(0, len(db), blocks + 1).astype(np.int64)
+    # Block split: the storage layer's residue-balanced contiguous cuts —
+    # the same bounds ``db.blocks()`` turns into zero-copy views, so the
+    # streamed blocks share the resident code buffer instead of copying
+    # it. CPU work is assigned by the block that owns each gapped
+    # extension's sequence.
+    bounds = db.block_bounds(config.num_db_blocks)
+    blocks = bounds.size - 1
     residues = db.offsets[bounds[1:]] - db.offsets[bounds[:-1]]
     share = residues / max(1, int(db.codes.size))
     gap_block = np.zeros(blocks)

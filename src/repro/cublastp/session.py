@@ -84,8 +84,11 @@ class DeviceSession:
         mem = self.ctx.memory
         # Database: packed codes + offsets. Scanned start-to-end by warps in
         # lane order, so plain global memory (coalesced by construction).
-        self.db_codes = mem.alloc("db_codes", db.codes.astype(np.uint8))
-        self.db_offsets = mem.alloc("db_offsets", db.offsets.astype(np.int64))
+        # ``asarray`` keeps the upload zero-copy: a DatabaseView (or an
+        # mmap-loaded database) hands its shared buffer straight to the
+        # simulated device — the kernels only ever read it.
+        self.db_codes = mem.alloc("db_codes", np.asarray(db.codes, dtype=np.uint8))
+        self.db_offsets = mem.alloc("db_offsets", np.asarray(db.offsets, dtype=np.int64))
 
         # DFA split (Fig. 10): word entries + position lists are read-only
         # cached; the state table is copied to shared memory per block.

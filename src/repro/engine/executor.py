@@ -10,7 +10,10 @@ query *k*'s result while query *k+N* is still in flight.
 
 The database stays resident for the whole batch (it is shared read-only
 by every worker), mirroring how the paper's evaluation amortises database
-residency across a query stream.
+residency across a query stream. Wherever a database is accepted, a path
+to a saved one works too: it is resolved through a
+:class:`~repro.io.store.DatabaseStore` (mmap-loaded, LRU-resident), so
+successive batches against the same file reuse one mapping.
 """
 
 from __future__ import annotations
@@ -18,7 +21,8 @@ from __future__ import annotations
 import inspect
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Union
 
 from repro.engine.compiled import CompiledQuery, QueryCache
 from repro.engine.events import EventLog
@@ -28,6 +32,9 @@ if TYPE_CHECKING:
     from repro.batch import BatchResult
     from repro.core.results import SearchResult
     from repro.io.database import SequenceDatabase
+    from repro.io.store import DatabaseStore
+
+    DatabaseLike = Union["SequenceDatabase", str, Path]
 
 
 @dataclass
@@ -84,6 +91,10 @@ class BatchExecutor:
     events:
         Optional :class:`~repro.engine.events.EventLog` shared with the
         engine, for phase-level consumption of the whole batch.
+    store:
+        :class:`~repro.io.store.DatabaseStore` used to resolve database
+        *paths* passed to :meth:`stream` / :meth:`run` (defaults to the
+        process-wide store).
     """
 
     def __init__(
@@ -95,6 +106,7 @@ class BatchExecutor:
         cache: QueryCache | None = None,
         collect_reports: bool = True,
         events: EventLog | None = None,
+        store: "DatabaseStore | None" = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
@@ -106,6 +118,17 @@ class BatchExecutor:
         self.cache = cache
         self.collect_reports = collect_reports
         self.events = events
+        self.store = store
+
+    def _resolve_db(self, db: "DatabaseLike") -> "SequenceDatabase":
+        """Pass databases through; open paths via the (default) store."""
+        if isinstance(db, (str, Path)):
+            if self.store is None:
+                from repro.io.store import get_default_store
+
+                self.store = get_default_store()
+            return self.store.open(db)
+        return db
 
     # -- per-query work ----------------------------------------------------
 
@@ -133,13 +156,16 @@ class BatchExecutor:
     # -- scheduling --------------------------------------------------------
 
     def stream(
-        self, queries: Iterable[tuple[str, str]], db: "SequenceDatabase"
+        self, queries: Iterable[tuple[str, str]], db: "DatabaseLike"
     ) -> Iterator[QueryOutcome]:
         """Yield one :class:`QueryOutcome` per query, in input order.
 
-        Consumption drives submission: at most :attr:`max_in_flight`
-        queries are in flight ahead of the consumer.
+        ``db`` may be a resident :class:`~repro.io.database.SequenceDatabase`
+        or a path to a saved one (store-resolved). Consumption drives
+        submission: at most :attr:`max_in_flight` queries are in flight
+        ahead of the consumer.
         """
+        db = self._resolve_db(db)
         if self.jobs == 1:
             for index, (query_id, sequence) in enumerate(queries):
                 yield self._execute(index, query_id, sequence, db)
@@ -158,7 +184,7 @@ class BatchExecutor:
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
 
-    def run(self, queries: Iterable[tuple[str, str]], db: "SequenceDatabase") -> "BatchResult":
+    def run(self, queries: Iterable[tuple[str, str]], db: "DatabaseLike") -> "BatchResult":
         """Run the whole batch and aggregate it into a :class:`BatchResult`."""
         from repro.batch import BatchResult
 

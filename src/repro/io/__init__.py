@@ -1,8 +1,11 @@
-"""Sequence input/output: FASTA parsing, packed databases, synthetic workloads."""
+"""Sequence input/output: FASTA parsing, packed databases and zero-copy
+views, the versioned on-disk format, the resident store, synthetic
+workloads."""
 
-from repro.io.database import DatabaseStats, SequenceDatabase
+from repro.io.database import DatabaseStats, DatabaseView, SequenceDatabase
 from repro.io.fasta import FastaRecord, read_fasta, read_fasta_file, write_fasta
 from repro.io.report import format_pairwise, summary_table, tabular_line, write_tabular
+from repro.io.store import DatabaseStore, ShardHandle, StoreStats, get_default_store
 from repro.io.workloads import (
     WorkloadSpec,
     generate_database,
@@ -13,8 +16,13 @@ from repro.io.workloads import (
 
 __all__ = [
     "DatabaseStats",
+    "DatabaseStore",
+    "DatabaseView",
     "FastaRecord",
     "SequenceDatabase",
+    "ShardHandle",
+    "StoreStats",
+    "get_default_store",
     "WorkloadSpec",
     "format_pairwise",
     "generate_database",

@@ -1,10 +1,23 @@
-"""Packed sequence database.
+"""Packed sequence database and zero-copy views.
 
 A :class:`SequenceDatabase` stores all subject sequences in one contiguous
 ``uint8`` code array plus a CSR-style offset table. This is the layout the
 GPU kernels scan (coalesced, position-indexed) and the layout FSA-BLAST
 iterates, so both the simulator and the CPU reference share one source of
 truth for subject data.
+
+Slicing is zero-copy wherever the layout allows it: a contiguous run of
+sequences is a :class:`DatabaseView` — shared ``codes`` storage, rebased
+offsets, a global-id mapping — which is what the Fig. 12 block pipeline
+streams and what the cluster layer hands to each node under the
+contiguous scheme. Non-contiguous selections (interleaved partitions,
+length sorting) materialise a copy through one vectorised gather; the
+``materialize`` flag on :meth:`SequenceDatabase.subset` makes the choice
+explicit.
+
+Persistence goes through :mod:`repro.io.storage` — a versioned binary
+format that reloads via ``mmap`` without any pickling (legacy ``.npz``
+archives are still readable behind a :class:`DeprecationWarning`).
 """
 
 from __future__ import annotations
@@ -60,12 +73,13 @@ class SequenceDatabase:
             raise SequenceError("empty sequences are not allowed in a database")
         self._codes = codes
         self._offsets = offsets
+        self._lengths: np.ndarray | None = None
         n = offsets.size - 1
         if identifiers is None:
             identifiers = [f"seq{i}" for i in range(n)]
         if len(identifiers) != n:
             raise SequenceError(f"{len(identifiers)} identifiers for {n} sequences")
-        self._identifiers = list(identifiers)
+        self._identifiers: list[str] | None = list(identifiers)
 
     # -- constructors ------------------------------------------------------
 
@@ -106,12 +120,26 @@ class SequenceDatabase:
 
     @property
     def identifiers(self) -> list[str]:
-        return list(self._identifiers)
+        """Per-sequence identifiers.
+
+        The returned list is the database's own storage (no copy is made);
+        treat it as read-only.
+        """
+        if self._identifiers is None:  # lazily built by views
+            self._identifiers = self._build_identifiers()
+        return self._identifiers
+
+    def _build_identifiers(self) -> list[str]:  # overridden by DatabaseView
+        raise AssertionError("base databases always carry identifiers")
 
     @property
     def lengths(self) -> np.ndarray:
-        """Length of each sequence."""
-        return np.diff(self._offsets)
+        """Length of each sequence (computed once, then cached)."""
+        if self._lengths is None:
+            lengths = np.diff(self._offsets)
+            lengths.flags.writeable = False
+            self._lengths = lengths
+        return self._lengths
 
     def __len__(self) -> int:
         return self._offsets.size - 1
@@ -127,7 +155,7 @@ class SequenceDatabase:
         return decode(self.sequence(index))
 
     def identifier(self, index: int) -> str:
-        return self._identifiers[index]
+        return self.identifiers[index]
 
     def stats(self) -> DatabaseStats:
         """Compute summary statistics."""
@@ -140,10 +168,44 @@ class SequenceDatabase:
             min_length=int(lengths.min()),
         )
 
+    # -- global-id mapping -------------------------------------------------
+    #
+    # A plain database is its own coordinate system; views override these
+    # to translate into the parent's ids, so code that remaps (the cluster
+    # merge, block pipelines) can treat both uniformly.
+
+    @property
+    def base(self) -> "SequenceDatabase":
+        """The database owning the underlying storage (``self`` here)."""
+        return self
+
+    def to_global(self, local_seq_id: int) -> int:
+        """Map a local sequence id to the owning database's id space."""
+        if not 0 <= local_seq_id < len(self):
+            raise IndexError(local_seq_id)
+        return local_seq_id
+
+    @property
+    def global_ids(self) -> np.ndarray:
+        """Ids of this database's sequences in the owning database."""
+        return np.arange(len(self), dtype=np.int64)
+
     # -- transformations ---------------------------------------------------
 
+    def view(self, start: int, stop: int) -> "SequenceDatabase":
+        """Zero-copy view of the contiguous sequence range ``[start, stop)``.
+
+        The view shares this database's ``codes`` storage (no residues are
+        copied); only the rebased offset table is new. ``view(0, len(db))``
+        returns ``self``.
+        """
+        if start == 0 and stop == len(self):
+            return self
+        return DatabaseView(self, start, stop)
+
     def sorted_by_length(self, descending: bool = True) -> "SequenceDatabase":
-        """Return a copy with sequences ordered by length.
+        """Return the sequences ordered by length (a copy unless already
+        sorted, in which case the database itself comes back).
 
         CUDA-BLASTP pre-sorts the database by sequence length to improve the
         load balance of its one-thread-per-sequence kernel; that baseline
@@ -154,47 +216,51 @@ class SequenceDatabase:
             order = order[::-1]
         return self.subset(order)
 
-    def subset(self, indices: np.ndarray) -> "SequenceDatabase":
-        """Return a new database containing ``indices`` in the given order."""
-        indices = np.asarray(indices, dtype=np.int64)
-        parts = [self.sequence(int(i)) for i in indices]
-        offsets = np.zeros(len(parts) + 1, dtype=np.int64)
-        np.cumsum([len(p) for p in parts], out=offsets[1:])
-        codes = np.concatenate(parts)
-        idents = [self._identifiers[int(i)] for i in indices]
-        return SequenceDatabase(codes, offsets, idents)
+    def subset(self, indices: np.ndarray, materialize: bool | None = None) -> "SequenceDatabase":
+        """Return a database containing ``indices`` in the given order.
 
-    # -- persistence ---------------------------------------------------------
-
-    def save(self, path) -> None:
-        """Write the packed database to ``path`` (.npz).
-
-        The binary form (codes + offsets + identifiers) reloads without
-        re-encoding — the role makeblastdb's volumes play for BLAST.
+        A contiguous ascending run of indices returns a zero-copy
+        :class:`DatabaseView`; any other selection materialises a new
+        packed database through one vectorised gather. Pass
+        ``materialize=True`` to force a copy even for contiguous runs
+        (e.g. to detach from a large parent), or ``materialize=False`` to
+        *require* the zero-copy path (raises :class:`SequenceError` when
+        the selection is not contiguous).
         """
-        np.savez_compressed(
-            path,
-            codes=self._codes,
-            offsets=self._offsets,
-            identifiers=np.array(self._identifiers, dtype=object),
-        )
-
-    @classmethod
-    def load(cls, path) -> "SequenceDatabase":
-        """Reload a database written by :meth:`save`."""
-        with np.load(path, allow_pickle=True) as data:
-            return cls(
-                data["codes"],
-                data["offsets"],
-                [str(x) for x in data["identifiers"]],
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise SequenceError("subset indices must be 1-D")
+        if indices.size == 0:
+            raise SequenceError(
+                "subset of zero sequences is not allowed (databases are non-empty)"
             )
+        if np.any((indices < 0) | (indices >= len(self))):
+            raise IndexError("subset index out of range")
+        contiguous = bool(np.all(np.diff(indices) == 1))
+        if contiguous and not materialize:
+            return self.view(int(indices[0]), int(indices[-1]) + 1)
+        if materialize is False:
+            raise SequenceError("non-contiguous subset cannot be a zero-copy view")
+        # One vectorised gather: for output position p in sequence k, the
+        # source index is starts[k] + (p - new_offsets[k]).
+        lengths = self.lengths[indices]
+        offsets = np.zeros(indices.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        starts = self._offsets[indices]
+        gather = np.repeat(starts - offsets[:-1], lengths) + np.arange(
+            offsets[-1], dtype=np.int64
+        )
+        ident_src = self.identifiers
+        idents = [ident_src[int(i)] for i in indices]
+        return SequenceDatabase(self._codes[gather], offsets, idents)
 
-    def blocks(self, num_blocks: int) -> list["SequenceDatabase"]:
-        """Split into ``num_blocks`` contiguous, residue-balanced blocks.
+    def block_bounds(self, num_blocks: int) -> np.ndarray:
+        """Residue-balanced contiguous cut points for ``num_blocks`` blocks.
 
-        The CPU/GPU pipeline (Fig. 12) streams the database in blocks; the
-        split balances total residues, not sequence counts, so per-block
-        kernel time stays roughly even.
+        Returns ``min(num_blocks, len(self)) + 1`` sequence indices; block
+        ``b`` covers sequences ``[bounds[b], bounds[b+1])``. The split
+        balances total residues, not sequence counts, so per-block kernel
+        time stays roughly even (the Fig. 12 schedule's assumption).
         """
         if num_blocks <= 0:
             raise ValueError("num_blocks must be positive")
@@ -206,7 +272,120 @@ class SequenceDatabase:
             cut = min(max(cut, bounds[-1] + 1), len(self) - (num_blocks - b))
             bounds.append(cut)
         bounds.append(len(self))
+        return np.asarray(bounds, dtype=np.int64)
+
+    def blocks(self, num_blocks: int) -> list["SequenceDatabase"]:
+        """Split into ``num_blocks`` contiguous, residue-balanced blocks.
+
+        The CPU/GPU pipeline (Fig. 12) streams the database in blocks;
+        each block is a zero-copy :class:`DatabaseView` sharing this
+        database's residue storage.
+        """
+        bounds = self.block_bounds(num_blocks)
         return [
-            self.subset(np.arange(bounds[b], bounds[b + 1]))
-            for b in range(num_blocks)
+            self.view(int(bounds[b]), int(bounds[b + 1]))
+            for b in range(bounds.size - 1)
         ]
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the packed database to ``path`` in the versioned binary
+        format (see :mod:`repro.io.storage`).
+
+        The binary form (header + raw codes/offsets/identifier blob)
+        reloads through ``mmap`` without re-encoding or pickling — the
+        role makeblastdb's volumes play for BLAST.
+        """
+        from repro.io import storage
+
+        storage.save_database(self, path)
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = True) -> "SequenceDatabase":
+        """Reload a database written by :meth:`save`.
+
+        The current binary format maps the ``codes``/``offsets`` sections
+        directly from disk (read-only, no copy) when ``mmap`` is true.
+        Legacy ``.npz`` archives are still read, behind a
+        :class:`DeprecationWarning`.
+        """
+        from repro.io import storage
+
+        return storage.load_database(path, mmap=mmap)
+
+
+class DatabaseView(SequenceDatabase):
+    """A zero-copy contiguous slice ``[start, stop)`` of a parent database.
+
+    The view's ``codes`` are a numpy slice of the parent's storage
+    (``np.shares_memory(view.codes, parent.codes)`` holds); only the
+    rebased offset table — ``num_sequences + 1`` int64s — is allocated.
+    Identifiers are sliced lazily on first access. Views of views collapse
+    onto the root parent, so chains never deepen.
+    """
+
+    def __init__(self, parent: SequenceDatabase, start: int, stop: int) -> None:
+        if isinstance(parent, DatabaseView):
+            start += parent._start
+            stop += parent._start
+            parent = parent._parent
+        if not (isinstance(start, (int, np.integer)) and isinstance(stop, (int, np.integer))):
+            raise SequenceError("view bounds must be integers")
+        if not 0 <= start < stop <= len(parent):
+            raise SequenceError(
+                f"view [{start}, {stop}) out of range for {len(parent)} sequences"
+            )
+        self._parent = parent
+        self._start = int(start)
+        self._stop = int(stop)
+        base = parent._offsets[start]
+        # Plain 1-D slices: the codes view shares the parent's buffer.
+        self._codes = parent._codes[base : parent._offsets[stop]]
+        self._offsets = parent._offsets[start : stop + 1] - base
+        self._lengths = None
+        self._identifiers = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def parent(self) -> SequenceDatabase:
+        """The database whose storage this view shares."""
+        return self._parent
+
+    @property
+    def base(self) -> SequenceDatabase:
+        return self._parent
+
+    @property
+    def start(self) -> int:
+        """First parent sequence id covered by this view."""
+        return self._start
+
+    @property
+    def stop(self) -> int:
+        """One past the last parent sequence id covered by this view."""
+        return self._stop
+
+    def to_global(self, local_seq_id: int) -> int:
+        if not 0 <= local_seq_id < len(self):
+            raise IndexError(local_seq_id)
+        return self._start + local_seq_id
+
+    @property
+    def global_ids(self) -> np.ndarray:
+        return np.arange(self._start, self._stop, dtype=np.int64)
+
+    def _build_identifiers(self) -> list[str]:
+        return self._parent.identifiers[self._start : self._stop]
+
+    def identifier(self, index: int) -> str:
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._parent.identifier(self._start + index)
+
+    def detach(self) -> SequenceDatabase:
+        """Materialise this view as an independent packed database."""
+        return SequenceDatabase(
+            self._codes.copy(), self._offsets.copy(), list(self.identifiers)
+        )

@@ -44,6 +44,14 @@ class TestPartition:
         with pytest.raises(ValueError):
             partition_database(small_db, 0)
 
+    def test_contiguous_fragments_are_zero_copy_views(self, small_db):
+        for p in partition_database(small_db, 3, interleaved=False):
+            assert np.shares_memory(p.db.codes, small_db.codes)
+
+    def test_interleaved_fragments_are_materialised(self, small_db):
+        for p in partition_database(small_db, 3, interleaved=True):
+            assert not np.shares_memory(p.db.codes, small_db.codes)
+
 
 class TestMultiGpu:
     @pytest.mark.parametrize("nodes", [1, 3])
@@ -77,3 +85,19 @@ class TestMultiGpu:
         res = MultiGpuBlastp(small_query, 3, small_params).search(small_db)
         scores = [a.score for a in res.alignments]
         assert scores == sorted(scores, reverse=True)
+
+    def test_search_by_path_through_store(
+        self, small_query, small_params, small_db, tmp_path
+    ):
+        from repro.io import DatabaseStore
+
+        path = tmp_path / "cluster.rpdb"
+        small_db.save(path)
+        store = DatabaseStore()
+        searcher = MultiGpuBlastp(small_query, 2, small_params, store=store)
+        by_path = searcher.search(str(path))
+        in_memory = MultiGpuBlastp(small_query, 2, small_params).search(small_db)
+        assert alignment_keys(by_path.alignments) == alignment_keys(in_memory.alignments)
+        assert store.stats.misses == 1  # one load; partitioning is cached
+        searcher.search(str(path))
+        assert store.stats.misses == 1

@@ -129,3 +129,51 @@ class TestCacheProperties:
             c.access_lines([line])
             h, _ = c.access_lines([line])  # immediate re-touch always hits
             assert h == 1
+
+
+class TestDatabaseViewProperties:
+    """Any view's local reads equal the parent's reads at the mapped ids."""
+
+    dbs = st.lists(protein_text, min_size=1, max_size=20)
+
+    @given(dbs, st.data())
+    @settings(max_examples=60)
+    def test_view_sequences_match_parent_via_to_global(self, seqs, data):
+        from repro.io import SequenceDatabase
+
+        db = SequenceDatabase.from_strings(seqs)
+        start = data.draw(st.integers(0, len(db) - 1))
+        stop = data.draw(st.integers(start + 1, len(db)))
+        v = db.view(start, stop)
+        assert np.shares_memory(v.codes, db.codes) or v is db
+        for i in range(len(v)):
+            g = v.to_global(i)
+            assert np.array_equal(v.sequence(i), db.sequence(g))
+            assert v.identifier(i) == db.identifier(g)
+
+    @given(dbs, st.data())
+    @settings(max_examples=60)
+    def test_subset_gather_matches_per_sequence_reads(self, seqs, data):
+        from repro.io import SequenceDatabase
+
+        db = SequenceDatabase.from_strings(seqs)
+        indices = data.draw(
+            st.lists(st.integers(0, len(db) - 1), min_size=1, max_size=12)
+        )
+        sub = db.subset(np.asarray(indices, dtype=np.int64))
+        assert len(sub) == len(indices)
+        for local, g in enumerate(indices):
+            assert np.array_equal(sub.sequence(local), db.sequence(g))
+
+    @given(dbs, st.integers(1, 6))
+    @settings(max_examples=60)
+    def test_blocks_tile_the_parent(self, seqs, num_blocks):
+        from repro.io import SequenceDatabase
+
+        db = SequenceDatabase.from_strings(seqs)
+        blocks = db.blocks(num_blocks)
+        assert sum(len(b) for b in blocks) == len(db)
+        ids = np.concatenate([b.global_ids for b in blocks])
+        assert np.array_equal(ids, np.arange(len(db)))
+        total = sum(int(b.codes.size) for b in blocks)
+        assert total == int(db.codes.size)

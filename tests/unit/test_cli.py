@@ -165,3 +165,73 @@ class TestProfile:
         assert "hit_detection" in out
         assert "pipelined end-to-end" in out
         assert "gapped_extension" in out
+
+
+class TestDbCommands:
+    @pytest.fixture(scope="class")
+    def binary_db(self, workspace):
+        out = workspace["dir"] / "db.rpdb"
+        assert main(["db", "build", workspace["db"], str(out)]) == 0
+        return str(out)
+
+    def test_build_reports_stats(self, workspace, capsys):
+        out = workspace["dir"] / "built.rpdb"
+        rc = main(["db", "build", workspace["db"], str(out)])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "40 sequences" in captured
+        assert "mmap-loadable" in captured
+
+    def test_build_output_is_binary_format(self, binary_db):
+        from repro.io import storage
+
+        assert storage.sniff_format(binary_db) == "binary"
+
+    def test_inspect(self, binary_db, capsys):
+        rc = main(["db", "inspect", binary_db, "--identifiers", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "format version  1" in out
+        assert "sequences       40" in out
+        assert "[0]" in out and "[2]" in out
+
+    def test_inspect_rejects_non_database(self, workspace):
+        with pytest.raises(SystemExit):
+            main(["db", "inspect", workspace["db"]])  # FASTA, not a saved db
+
+    def test_search_accepts_binary_database(self, workspace, binary_db, capsys):
+        args = ["--outfmt", "tabular", "--effective-db-size", "100000000"]
+        assert main(["search", workspace["query"], workspace["db"], *args]) == 0
+        on_fasta = capsys.readouterr().out
+        assert main(["search", workspace["query"], binary_db, *args]) == 0
+        on_binary = capsys.readouterr().out
+        assert on_binary == on_fasta
+
+    def test_profile_accepts_binary_database(self, workspace, binary_db, capsys):
+        rc = main(
+            ["profile", workspace["query"], binary_db,
+             "--effective-db-size", "100000000"]
+        )
+        assert rc == 0
+        assert "pipelined end-to-end" in capsys.readouterr().out
+
+    def test_build_migrates_legacy_npz(self, workspace, capsys):
+        import numpy as np
+
+        from repro.io import SequenceDatabase, storage
+
+        db = SequenceDatabase.from_records(read_fasta_file(workspace["db"]))
+        legacy = workspace["dir"] / "legacy.npz"
+        np.savez_compressed(
+            legacy,
+            codes=db.codes,
+            offsets=db.offsets,
+            identifiers=np.array(db.identifiers, dtype=object),
+        )
+        migrated = workspace["dir"] / "migrated.rpdb"
+        with pytest.deprecated_call():
+            rc = main(["db", "build", str(legacy), str(migrated)])
+        assert rc == 0
+        assert storage.sniff_format(migrated) == "binary"
+        back = SequenceDatabase.load(migrated)
+        assert back.identifiers == db.identifiers
