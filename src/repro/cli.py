@@ -16,6 +16,10 @@ Commands
 ``profile``
     Run a search and print the simulated GPU kernel profiles and the
     end-to-end breakdown (the Fig. 19 view for your own inputs).
+``verify``
+    Differential conformance: generate seeded workloads and check every
+    engine and execution path against the reference oracle, hit for hit
+    (see :mod:`repro.verify` and docs/TESTING.md).
 
 Database arguments everywhere accept either a FASTA file or a saved
 binary database; binary paths open through the process-wide
@@ -286,6 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile = sub.add_parser("profile", help="print simulated GPU profiles")
     add_search_args(p_profile)
     p_profile.set_defaults(func=cmd_profile)
+
+    from repro.verify.cli import add_verify_parser
+
+    add_verify_parser(sub)
     return parser
 
 

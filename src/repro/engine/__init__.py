@@ -21,9 +21,16 @@ can be scheduled on the resource that suits it:
 from repro.engine.compiled import CompiledQuery, QueryCache, compile_query, compile_signature
 from repro.engine.events import EventLog, PhaseEvent
 from repro.engine.executor import BatchExecutor, QueryOutcome
-from repro.engine.protocol import ENGINE_NAMES, Engine, ReportingEngine, make_engine
+from repro.engine.protocol import (
+    CUBLASTP_STRATEGY_NAMES,
+    ENGINE_NAMES,
+    Engine,
+    ReportingEngine,
+    make_engine,
+)
 
 __all__ = [
+    "CUBLASTP_STRATEGY_NAMES",
     "ENGINE_NAMES",
     "BatchExecutor",
     "CompiledQuery",

@@ -61,6 +61,12 @@ class ReportingEngine(Engine, Protocol):
 #: Registry names accepted by :func:`make_engine` (and ``--engine``).
 ENGINE_NAMES = ("cublastp", "reference", "fsa", "ncbi", "cuda-blastp", "gpu-blastp")
 
+#: ``cublastp`` accepts an extension-strategy suffix, e.g.
+#: ``"cublastp:diagonal"`` — one name per Fig. 9 strategy, used by the
+#: differential-verification matrix to pin each strategy as its own
+#: implementation under test.
+CUBLASTP_STRATEGY_NAMES = ("cublastp:diagonal", "cublastp:hit", "cublastp:window")
+
 
 def make_engine(
     name: str,
@@ -88,10 +94,26 @@ def make_engine(
     events:
         Event log the engine's searches emit phase events into.
     """
-    if name == "cublastp":
+    if name == "cublastp" or name.startswith("cublastp:"):
+        from repro.cublastp.config import CuBlastpConfig, ExtensionMode
         from repro.cublastp.search import CuBlastp
         from repro.gpusim.device import K20C
 
+        if name != "cublastp":
+            if config is not None:
+                raise ValueError(
+                    "pass either a strategy-suffixed name or an explicit "
+                    "config, not both"
+                )
+            strategy = name.split(":", 1)[1]
+            try:
+                mode = ExtensionMode(strategy)
+            except ValueError:
+                raise ValueError(
+                    f"unknown cublastp extension strategy {strategy!r} "
+                    f"(choose from {', '.join(m.value for m in ExtensionMode)})"
+                ) from None
+            config = CuBlastpConfig(extension_mode=mode)
         return CuBlastp(None, params, config, device or K20C, events=events)
     if name == "reference":
         from repro.core.pipeline import BlastpPipeline

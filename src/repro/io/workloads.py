@@ -83,8 +83,13 @@ class WorkloadSpec:
         return replace(self, num_sequences=max(1, int(round(self.num_sequences * factor))))
 
 
-def _sample_background(rng: np.random.Generator, length: int) -> np.ndarray:
-    """Sample ``length`` residue codes from the Robinson background."""
+def sample_background(rng: np.random.Generator, length: int) -> np.ndarray:
+    """Sample ``length`` residue codes from the Robinson background.
+
+    Public so other generators (the differential-testing case builders in
+    :mod:`repro.verify.cases`) can layer on the same composition; ``rng``
+    is always caller-supplied, keeping every draw seed-pinned.
+    """
     probs = background_frequencies()
     return rng.choice(len(probs), size=length, p=probs).astype(np.uint8)
 
@@ -93,7 +98,7 @@ def _domain_library(spec: WorkloadSpec) -> list[np.ndarray]:
     """The conserved domains shared between queries and homologous subjects."""
     rng = np.random.default_rng(spec.seed ^ 0xD0AA11)
     lengths = rng.integers(30, 80, size=spec.num_domains)
-    return [_sample_background(rng, int(n)) for n in lengths]
+    return [sample_background(rng, int(n)) for n in lengths]
 
 
 def _mutate(rng: np.random.Generator, domain: np.ndarray, rate: float) -> np.ndarray:
@@ -132,7 +137,7 @@ def generate_database(spec: WorkloadSpec) -> SequenceDatabase:
     lengths = np.clip(lengths.round().astype(np.int64), 20, 36805)
     sequences: list[np.ndarray] = []
     for n in lengths:
-        seq = _sample_background(rng, int(n))
+        seq = sample_background(rng, int(n))
         if rng.random() < spec.homolog_fraction:
             for _ in range(int(rng.integers(1, 3))):
                 dom = domains[int(rng.integers(0, len(domains)))]
@@ -156,7 +161,7 @@ def generate_query(length: int, spec: WorkloadSpec, query_seed: int = 0) -> str:
         raise ValueError("query length must be at least 20")
     rng = np.random.default_rng(spec.seed ^ (0xBEEF + query_seed) ^ length)
     domains = _domain_library(spec)
-    seq = _sample_background(rng, length)
+    seq = sample_background(rng, length)
     num_implants = max(1, length // 160)
     for _ in range(num_implants):
         dom = domains[int(rng.integers(0, len(domains)))]

@@ -1,0 +1,116 @@
+"""Canonical, text-diffable form of a :class:`~repro.core.results.SearchResult`.
+
+Two implementations are *conformant* when their canonical forms are equal:
+every reported alignment must match on score, bit score, E-value,
+coordinates, and the rendered alignment strings — the paper's
+"identical output" claim, made mechanical. Alignments are re-sorted under
+a total order here, so engines are free to break score ties differently
+without that counting as a divergence (no current engine does, but the
+canonical form should not depend on it).
+
+The text rendering doubles as the golden-snapshot payload
+(:mod:`repro.verify.golden`): stable line-oriented output that diffs
+cleanly under ``git diff``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.results import Alignment, SearchResult
+
+#: Bump when the canonical rendering changes incompatibly (golden
+#: snapshots embed it, so stale snapshots fail loudly instead of silently
+#: comparing different schemas).
+CANONICAL_VERSION = 1
+
+
+def _alignment_key(a: "Alignment") -> tuple:
+    """Total order + equality key of one alignment."""
+    return (
+        -a.score,
+        a.seq_id,
+        a.query_start,
+        a.query_end,
+        a.subject_start,
+        a.subject_end,
+        repr(a.bit_score),
+        repr(a.evalue),
+        a.identities,
+        a.positives,
+        a.gaps,
+        a.aligned_query,
+        a.aligned_subject,
+        a.midline,
+    )
+
+
+def canonical_alignments(result: "SearchResult") -> tuple[tuple, ...]:
+    """The result's alignments as a sorted tuple of comparable keys."""
+    return tuple(sorted(_alignment_key(a) for a in result.alignments))
+
+
+def results_equal(a: "SearchResult", b: "SearchResult") -> bool:
+    """Whether two results are conformant (identical canonical form)."""
+    return canonical_alignments(a) == canonical_alignments(b)
+
+
+def canonical_text(result: "SearchResult") -> str:
+    """Line-oriented canonical rendering (golden-snapshot payload).
+
+    Floats are rendered with :func:`repr`, so the text is exactly as
+    strict as the tuple form — a one-ulp E-value drift is a diff.
+    """
+    lines = [f"alignments={len(result.alignments)}"]
+    for key in canonical_alignments(result):
+        (nscore, seq_id, qs, qe, ss, se, bit, ev, idn, pos, gaps, aq, asub, mid) = key
+        lines.append(
+            f"seq={seq_id} score={-nscore} bits={bit} evalue={ev} "
+            f"q={qs}-{qe} s={ss}-{se} ident={idn} pos={pos} gaps={gaps}"
+        )
+        lines.append(f"  Q {aq}")
+        lines.append(f"  | {mid}")
+        lines.append(f"  S {asub}")
+    return "\n".join(lines) + "\n"
+
+
+def result_digest(result: "SearchResult") -> str:
+    """Short content hash of the canonical text (log-friendly identity)."""
+    return hashlib.sha256(canonical_text(result).encode()).hexdigest()[:16]
+
+
+def first_divergence(oracle: "SearchResult", other: "SearchResult") -> str | None:
+    """Describe the first point where ``other`` departs from ``oracle``.
+
+    Returns ``None`` when the results are conformant; otherwise a short
+    human-readable locator (count mismatch, or the first differing
+    alignment with the fields that differ).
+    """
+    ka, kb = canonical_alignments(oracle), canonical_alignments(other)
+    if ka == kb:
+        return None
+    if len(ka) != len(kb):
+        only_oracle = set(ka) - set(kb)
+        only_other = set(kb) - set(ka)
+        return (
+            f"alignment count differs: oracle {len(ka)} vs {len(kb)} "
+            f"({len(only_oracle)} missing, {len(only_other)} unexpected)"
+        )
+    fields = (
+        "score", "seq_id", "query_start", "query_end", "subject_start",
+        "subject_end", "bit_score", "evalue", "identities", "positives",
+        "gaps", "aligned_query", "aligned_subject", "midline",
+    )
+    for i, (a, b) in enumerate(zip(ka, kb)):
+        if a != b:
+            diffs = []
+            for j in range(len(fields)):
+                if a[j] == b[j]:
+                    continue
+                # Index 0 is the sort key -score; report the real score.
+                va, vb = (-a[j], -b[j]) if j == 0 else (a[j], b[j])
+                diffs.append(f"{fields[j]}: {va!r} != {vb!r}")
+            return f"alignment #{i} differs ({'; '.join(diffs)})"
+    return "canonical forms differ"  # unreachable, kept for safety

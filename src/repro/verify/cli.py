@@ -1,0 +1,224 @@
+"""``repro verify`` — the differential-conformance CLI.
+
+Modes
+-----
+Generated sweep (default)
+    Generate ``--cases`` seeded cases and fan each across the engine
+    matrix. Any divergence is minimised into a reproducer and printed
+    (and written to ``--report`` for CI artifact upload).
+Pinned corpus (``--corpus``)
+    Run the oracle over the 64-case pinned corpus and compare against
+    the golden snapshots in the given directory; ``--update-golden``
+    re-pins them. The full matrix still runs differentially over the
+    corpus cases.
+Self-test (``--selftest``)
+    Inject a deliberate scoring bug into one engine and verify the
+    harness catches it within the case budget — proof the net has no
+    holes, run continuously in CI.
+
+Exit protocol (CI-facing)
+-------------------------
+* ``0`` — conformant (or self-test caught the injected bug);
+* ``1`` — divergence found (reproducer printed / written);
+* ``2`` — golden-snapshot mismatch (or self-test failed to catch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.verify.cases import CORPUS_SEED, FAMILIES, generate_cases, pinned_corpus
+from repro.verify.golden import GoldenStore
+from repro.verify.matrix import (
+    BuggedVariant,
+    OracleRunner,
+    VARIANT_NAMES,
+    default_matrix,
+    variants_by_name,
+)
+from repro.verify.runner import DifferentialRunner, VerifyReport
+
+#: Exit codes of the CI-facing protocol.
+EXIT_OK = 0
+EXIT_DIVERGENCE = 1
+EXIT_GOLDEN = 2
+
+
+def _emit_failures(report: VerifyReport, out, report_path: str | None) -> None:
+    """Print (and optionally persist) every reproducer in the report."""
+    blocks: list[str] = []
+    for div in report.divergences:
+        if div.reproducer is not None:
+            blocks.append(div.reproducer.describe())
+        else:
+            blocks.append(div.summary())
+    text = "\n\n".join(blocks)
+    if text:
+        print("\n" + text, file=out)
+    if report_path:
+        with open(report_path, "w") as fh:
+            fh.write(report.summary() + "\n\n" + text + "\n")
+        print(f"\nreproducer report written to {report_path}", file=out)
+
+
+def _run_generated(args: argparse.Namespace, out, progress) -> int:
+    variants = (
+        variants_by_name(args.engines.split(","))
+        if args.engines
+        else default_matrix()
+    )
+    families = tuple(args.families.split(",")) if args.families else None
+    cases = generate_cases(args.cases, args.seed, families)
+    runner = DifferentialRunner(
+        variants, shrink=not args.no_shrink, stop_on_first=args.stop_on_first
+    )
+    report = runner.run(cases, progress=progress)
+    print(report.summary(), file=out)
+    if not report.ok:
+        _emit_failures(report, out, args.report)
+        return EXIT_DIVERGENCE
+    return EXIT_OK
+
+
+def _run_corpus(args: argparse.Namespace, out, progress) -> int:
+    store = GoldenStore(args.corpus)
+    oracle = OracleRunner()
+    cases = pinned_corpus()
+    if args.update_golden:
+        for case in cases:
+            store.write(case, oracle(case))
+        print(f"pinned {len(cases)} golden snapshots under {store.root}", file=out)
+        return EXIT_OK
+    mismatches: list[str] = []
+    for case in cases:
+        try:
+            detail = store.compare(case, oracle(case))
+        except FileNotFoundError as exc:
+            detail = str(exc)  # unpinned case: a mismatch, not a crash
+        if detail is not None:
+            mismatches.append(f"{case.case_id}: {detail}")
+        if progress is not None:
+            progress(f"golden {case.case_id}: {'MISMATCH' if detail else 'ok'}")
+    # The matrix still runs differentially over the pinned cases.
+    variants = (
+        variants_by_name(args.engines.split(","))
+        if args.engines
+        else default_matrix()
+    )
+    runner = DifferentialRunner(variants, shrink=not args.no_shrink)
+    report = runner.run(cases, progress=progress)
+    print(report.summary(), file=out)
+    if mismatches:
+        print(f"GOLDEN MISMATCHES: {len(mismatches)}", file=out)
+        for m in mismatches[:10]:
+            print(f"  {m}", file=out)
+    if not report.ok:
+        _emit_failures(report, out, args.report)
+        return EXIT_DIVERGENCE
+    if mismatches:
+        return EXIT_GOLDEN
+    return EXIT_OK
+
+
+def _run_selftest(args: argparse.Namespace, out, progress) -> int:
+    """Prove the harness catches an injected defect within the budget."""
+    bugged = [
+        BuggedVariant("cublastp-bugged-score", "cublastp", score_delta=1),
+        BuggedVariant("reference-bugged-drop", "reference", drop_last=True,
+                      score_delta=0),
+    ]
+    cases = generate_cases(args.cases, args.seed)
+    runner = DifferentialRunner(bugged, shrink=not args.no_shrink)
+    report = runner.run(cases, progress=progress)
+    caught = {d.variant for d in report.divergences}
+    print(report.summary(), file=out)
+    missing = {v.name for v in bugged} - caught
+    if missing:
+        print(
+            f"SELFTEST FAILED: injected bugs not caught within "
+            f"{args.cases} cases: {', '.join(sorted(missing))}",
+            file=out,
+        )
+        return EXIT_GOLDEN
+    shrunk = [d.reproducer for d in report.divergences if d.reproducer is not None]
+    print(
+        f"selftest: both injected bugs caught "
+        f"({len(shrunk)} minimised reproducer(s))",
+        file=out,
+    )
+    if shrunk:
+        print("\n" + shrunk[0].describe(), file=out)
+    return EXIT_OK
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    out = sys.stdout
+    progress: Callable[[str], None] | None = None
+    if args.verbose:
+        progress = lambda msg: print(msg, file=sys.stderr)
+    if args.selftest:
+        return _run_selftest(args, out, progress)
+    if args.corpus:
+        return _run_corpus(args, out, progress)
+    return _run_generated(args, out, progress)
+
+
+def add_verify_parser(sub: "argparse._SubParsersAction") -> None:
+    """Register the ``verify`` subcommand on the main CLI."""
+    p = sub.add_parser(
+        "verify",
+        help="differential conformance: every engine vs the reference oracle",
+        description=(
+            "Generate seeded workloads and check every engine and execution "
+            "path against the reference pipeline, hit for hit. Exit 0: "
+            "conformant; 1: divergence (minimised reproducer printed); "
+            "2: golden-snapshot mismatch."
+        ),
+    )
+    p.add_argument(
+        "--cases", type=int, default=50,
+        help="number of generated cases (default 50)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=CORPUS_SEED,
+        help="master seed for case generation (default the corpus seed)",
+    )
+    p.add_argument(
+        "--engines",
+        help=(
+            "comma-separated engine variants to test "
+            f"(default: full matrix — {', '.join(VARIANT_NAMES)})"
+        ),
+    )
+    p.add_argument(
+        "--families",
+        help=f"comma-separated case families (default: all — {', '.join(FAMILIES)})",
+    )
+    p.add_argument(
+        "--corpus", metavar="DIR",
+        help="run the pinned 64-case corpus against golden snapshots in DIR",
+    )
+    p.add_argument(
+        "--update-golden", action="store_true",
+        help="re-pin the golden snapshots in --corpus from the oracle",
+    )
+    p.add_argument(
+        "--report", metavar="FILE",
+        help="write the divergence report + reproducers to FILE (CI artifact)",
+    )
+    p.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip reproducer minimisation (faster triage-less runs)",
+    )
+    p.add_argument(
+        "--stop-on-first", action="store_true",
+        help="abort at the first divergent case",
+    )
+    p.add_argument(
+        "--selftest", action="store_true",
+        help="inject a known bug and verify the harness catches it",
+    )
+    p.add_argument("--verbose", action="store_true", help="per-case progress on stderr")
+    p.set_defaults(func=cmd_verify)

@@ -1,0 +1,133 @@
+"""Golden snapshots: pinned known-good results, versioned and text-diffable.
+
+The pinned conformance corpus (:func:`repro.verify.cases.pinned_corpus`)
+is locked by storing the oracle's canonical output for every case as one
+plain-text file per case. Refactors that change *any* reported alignment
+— score, coordinate, E-value ulp, rendered string — show up as a
+human-readable ``git diff`` against these files rather than as a silent
+behaviour change.
+
+File format (``<case_id>.golden``)::
+
+    # repro golden snapshot v1
+    # canonical: 1
+    # case: homolog-0123456789
+    # family: homolog
+    # seed: 123456789
+    # query: 96 aa
+    # db: 12 seqs, 1034 residues
+    ---
+    alignments=3
+    seq=4 score=57 ...
+
+Header keys are ``# key: value`` lines; the payload after ``---`` is
+exactly :func:`repro.verify.canonical.canonical_text`. ``canonical``
+records :data:`~repro.verify.canonical.CANONICAL_VERSION`, so a schema
+bump invalidates stale snapshots loudly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.verify.canonical import CANONICAL_VERSION, canonical_text
+
+if TYPE_CHECKING:
+    from repro.core.results import SearchResult
+    from repro.verify.cases import Case
+
+#: Golden file format version (the ``v1`` in the first line).
+GOLDEN_VERSION = 1
+
+_MAGIC = f"# repro golden snapshot v{GOLDEN_VERSION}"
+
+
+class GoldenMismatch(Exception):
+    """A result departed from its pinned golden snapshot."""
+
+
+class GoldenStore:
+    """Directory of per-case golden snapshot files."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+
+    def path_for(self, case_id: str) -> Path:
+        return self.root / f"{case_id}.golden"
+
+    def known_ids(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.golden"))
+
+    # -- write -------------------------------------------------------------
+
+    def write(self, case: "Case", result: "SearchResult") -> Path:
+        """Pin ``result`` as the known-good output for ``case``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(case.case_id)
+        header = [
+            _MAGIC,
+            f"# canonical: {CANONICAL_VERSION}",
+            f"# case: {case.case_id}",
+            f"# family: {case.family}",
+            f"# seed: {case.seed}",
+            f"# query: {len(case.query)} aa",
+            f"# db: {len(case.db)} seqs, {int(case.db.codes.size)} residues",
+            "---",
+        ]
+        path.write_text("\n".join(header) + "\n" + canonical_text(result))
+        return path
+
+    # -- read --------------------------------------------------------------
+
+    def read(self, case_id: str) -> tuple[dict[str, str], str]:
+        """Header dict + canonical payload of one snapshot."""
+        path = self.path_for(case_id)
+        if not path.exists():
+            raise FileNotFoundError(f"no golden snapshot for {case_id} at {path}")
+        text = path.read_text()
+        head, sep, payload = text.partition("\n---\n")
+        if not sep:
+            raise GoldenMismatch(f"{path}: malformed golden file (no '---' separator)")
+        lines = head.splitlines()
+        if not lines or lines[0] != _MAGIC:
+            raise GoldenMismatch(
+                f"{path}: not a v{GOLDEN_VERSION} golden snapshot "
+                f"(got {lines[0]!r} — regenerate with --update-golden)"
+            )
+        header: dict[str, str] = {}
+        for line in lines[1:]:
+            if line.startswith("# ") and ": " in line:
+                key, _, value = line[2:].partition(": ")
+                header[key] = value
+        if int(header.get("canonical", "0")) != CANONICAL_VERSION:
+            raise GoldenMismatch(
+                f"{path}: canonical schema v{header.get('canonical')} != "
+                f"v{CANONICAL_VERSION} — regenerate with --update-golden"
+            )
+        return header, payload
+
+    # -- compare -----------------------------------------------------------
+
+    def compare(self, case: "Case", result: "SearchResult") -> str | None:
+        """First difference against the pinned snapshot, or ``None``.
+
+        Returns a short description naming the first differing line —
+        the full context is one ``git diff`` away, which is the point of
+        the text format.
+        """
+        _, pinned = self.read(case.case_id)
+        actual = canonical_text(result)
+        if actual == pinned:
+            return None
+        pinned_lines = pinned.splitlines()
+        actual_lines = actual.splitlines()
+        for i, (p, a) in enumerate(zip(pinned_lines, actual_lines)):
+            if p != a:
+                return f"line {i + 1}: pinned {p!r} != actual {a!r}"
+        return (
+            f"line count differs: pinned {len(pinned_lines)} "
+            f"vs actual {len(actual_lines)}"
+        )

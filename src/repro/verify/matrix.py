@@ -1,0 +1,222 @@
+"""The engine matrix: every implementation and execution path under test.
+
+A :class:`EngineVariant` pairs an engine (by registry name, including the
+``cublastp:<strategy>`` forms) with an *execution path* — how the query
+and database reach it:
+
+``direct``
+    ``engine.run(engine.compile(q), db)``, the plain protocol call.
+``view``
+    The database is wrapped in a full-range zero-copy
+    :class:`~repro.io.database.DatabaseView` first; results must be
+    identical to the copy (PR 2's invariant).
+``mmap``
+    The database round-trips through the versioned binary format and is
+    re-opened memory-mapped; exercises the storage layer end to end.
+``batch``
+    The query goes through a threaded
+    :class:`~repro.engine.executor.BatchExecutor` (jobs=2, duplicated
+    query) — scheduling must not perturb output.
+
+:func:`default_matrix` is the full implementation-under-test list; the
+``reference`` pipeline (:data:`ORACLE_NAME`) is the oracle it is checked
+against. :class:`BuggedEngine` deliberately corrupts an engine's output
+and exists so the subsystem can prove — in CI, continuously — that it
+*would* catch a real divergence (``repro verify --selftest``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.statistics import SearchParams
+from repro.engine.executor import BatchExecutor
+from repro.engine.protocol import CUBLASTP_STRATEGY_NAMES, Engine, make_engine
+
+if TYPE_CHECKING:
+    from repro.core.results import SearchResult
+    from repro.io.database import SequenceDatabase
+    from repro.verify.cases import Case
+
+#: The engine whose output is ground truth.
+ORACLE_NAME = "reference"
+
+#: Execution paths a variant may route through.
+PATHS = ("direct", "view", "mmap", "batch")
+
+
+@dataclass(frozen=True)
+class EngineVariant:
+    """One implementation under test: an engine on an execution path."""
+
+    name: str
+    engine_name: str
+    path: str = "direct"
+
+    def make(self, params: SearchParams) -> Engine:
+        return make_engine(self.engine_name, params)
+
+    def run_case(self, case: "Case") -> "SearchResult":
+        """Run the case through this variant, returning its result."""
+        engine = self.make(case.params)
+        if self.path == "mmap":
+            # Round-trip through the binary format and search the live
+            # memory-mapped database (the mapping stays open for the run).
+            from repro.io.database import SequenceDatabase
+
+            with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+                path = Path(tmp) / "case.rpdb"
+                case.db.save(path)
+                db = SequenceDatabase.load(path, mmap=True)
+                return engine.run(engine.compile(case.query), db)
+        if self.path == "batch":
+            return _run_batched(engine, case.query_id, case.query, case.db)
+        if self.path == "view":
+            db: "SequenceDatabase" = case.db.view(0, len(case.db))
+        elif self.path == "direct":
+            db = case.db
+        else:
+            raise ValueError(f"unknown execution path {self.path!r}")
+        return engine.run(engine.compile(case.query), db)
+
+
+def _run_batched(
+    engine: Engine, query_id: str, query: str, db: "SequenceDatabase"
+) -> "SearchResult":
+    """Run the query twice through a threaded executor; both copies must
+    agree with each other (a scheduling-sensitivity check local to this
+    path) and the first is returned for the oracle comparison."""
+    from repro.verify.canonical import results_equal
+
+    executor = BatchExecutor(engine, jobs=2, collect_reports=False)
+    outcomes = list(
+        executor.stream([(query_id, query), (f"{query_id}+dup", query)], db)
+    )
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+    first, second = outcomes[0].result, outcomes[1].result
+    if not results_equal(first, second):
+        raise AssertionError(
+            "batch executor returned different results for identical queries"
+        )
+    return first
+
+
+#: The full matrix: all engines, all three cuBLASTP strategies, and the
+#: view/mmap/batch execution paths on representative engines.
+DEFAULT_VARIANTS: tuple[EngineVariant, ...] = (
+    EngineVariant("cublastp-diagonal", "cublastp:diagonal"),
+    EngineVariant("cublastp-hit", "cublastp:hit"),
+    EngineVariant("cublastp-window", "cublastp:window"),
+    EngineVariant("fsa", "fsa"),
+    EngineVariant("ncbi", "ncbi"),
+    EngineVariant("cuda-blastp", "cuda-blastp"),
+    EngineVariant("gpu-blastp", "gpu-blastp"),
+    EngineVariant("reference-view", "reference", path="view"),
+    EngineVariant("reference-mmap", "reference", path="mmap"),
+    EngineVariant("cublastp-view", "cublastp", path="view"),
+    EngineVariant("cublastp-batch", "cublastp", path="batch"),
+)
+
+#: Variant names accepted by ``repro verify --engines``.
+VARIANT_NAMES = tuple(v.name for v in DEFAULT_VARIANTS)
+
+
+def default_matrix() -> list[EngineVariant]:
+    """The full implementation-under-test list (oracle excluded)."""
+    return list(DEFAULT_VARIANTS)
+
+
+def variants_by_name(names: "list[str] | tuple[str, ...]") -> list[EngineVariant]:
+    """Resolve ``--engines`` selections against the registry.
+
+    Accepts variant names (``cublastp-window``, ``reference-mmap``) and,
+    for convenience, bare engine registry names (``fsa``,
+    ``cublastp:hit``) which run on the direct path.
+    """
+    registry = {v.name: v for v in DEFAULT_VARIANTS}
+    out: list[EngineVariant] = []
+    for name in names:
+        if name in registry:
+            out.append(registry[name])
+        elif name == ORACLE_NAME:
+            out.append(EngineVariant("reference", "reference"))
+        elif name in ("cublastp",) + CUBLASTP_STRATEGY_NAMES + (
+            "fsa", "ncbi", "cuda-blastp", "gpu-blastp",
+        ):
+            out.append(EngineVariant(name, name))
+        else:
+            raise ValueError(
+                f"unknown engine variant {name!r} "
+                f"(choose from {', '.join(VARIANT_NAMES)})"
+            )
+    return out
+
+
+class OracleRunner:
+    """Callable running a case through the oracle engine."""
+
+    name = ORACLE_NAME
+
+    def __init__(self, params_override: SearchParams | None = None) -> None:
+        self.params_override = params_override
+
+    def __call__(self, case: "Case") -> "SearchResult":
+        params = self.params_override or case.params
+        engine = make_engine(ORACLE_NAME, params)
+        return engine.run(engine.compile(case.query), case.db)
+
+
+@dataclass(frozen=True)
+class BuggedEngine:
+    """An engine wrapper that injects a deterministic output bug.
+
+    ``score_delta`` perturbs the top alignment's score; ``drop_last``
+    silently discards the weakest alignment. Used by ``repro verify
+    --selftest`` and the conformance tests to demonstrate the harness
+    catches an injected defect within the case budget.
+    """
+
+    inner: Engine
+    score_delta: int = 1
+    drop_last: bool = False
+    name: str = "bugged"
+
+    def compile(self, query):
+        return self.inner.compile(query)
+
+    def run(self, compiled, db, query_id: str | None = None) -> "SearchResult":
+        from dataclasses import replace as dc_replace
+
+        result = self.inner.run(compiled, db)
+        alignments = list(result.alignments)
+        if alignments:
+            if self.drop_last:
+                alignments = alignments[:-1]
+            elif self.score_delta:
+                alignments[0] = dc_replace(
+                    alignments[0], score=alignments[0].score + self.score_delta
+                )
+        result.alignments = alignments
+        result.num_reported = len(alignments)
+        return result
+
+
+@dataclass(frozen=True)
+class BuggedVariant(EngineVariant):
+    """A matrix entry whose engine is wrapped in :class:`BuggedEngine`."""
+
+    score_delta: int = 1
+    drop_last: bool = False
+
+    def make(self, params: SearchParams) -> Engine:
+        return BuggedEngine(
+            make_engine(self.engine_name, params),
+            score_delta=self.score_delta,
+            drop_last=self.drop_last,
+            name=self.name,
+        )

@@ -1,0 +1,172 @@
+"""Greedy minimisation of a divergent case.
+
+When the differential runner finds a case where an engine departs from
+the oracle, the raw case (a dozen sequences, a ~100-residue query) is
+rarely the smallest demonstration. :func:`minimise` shrinks it while the
+divergence persists:
+
+1. **db-shrink** — delta-debugging over the subject list: repeatedly try
+   dropping chunks of sequences (halving chunk sizes, ddmin-style),
+   keeping any removal that preserves the divergence;
+2. **query-shrink** — greedily trim residues off the query's right, then
+   left, end (halving trim sizes), never going below the word length.
+
+Every probe re-runs the oracle and the variant on the candidate, so the
+minimised case is a *verified* reproducer, and the original ``(family,
+seed)`` pair is recorded so the full case can always be rebuilt too. The
+probe budget is bounded (:data:`DEFAULT_PROBE_BUDGET`) to keep CI time
+predictable on adversarial cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.io.database import SequenceDatabase
+from repro.verify.canonical import first_divergence
+
+if TYPE_CHECKING:
+    from repro.core.results import SearchResult
+    from repro.core.statistics import SearchParams
+    from repro.verify.cases import Case
+
+#: Maximum oracle+variant probe pairs one minimisation may spend.
+DEFAULT_PROBE_BUDGET = 200
+
+#: Minimum query length a shrink may produce (one word).
+_MIN_QUERY = 3
+
+
+@dataclass
+class Reproducer:
+    """A minimised, replayable demonstration of one divergence.
+
+    ``family``/``seed`` rebuild the original generated case
+    (:func:`repro.verify.cases.build_case`); ``query``/``db_sequences``
+    are the minimised inputs that still diverge.
+    """
+
+    case_id: str
+    family: str
+    seed: int
+    variant: str
+    detail: str
+    query: str
+    db_sequences: list[str]
+    probes: int
+    params: "SearchParams | None" = None
+
+    def describe(self) -> str:
+        """Self-contained text block: what diverged, and how to replay it."""
+        lines = [
+            f"divergence: {self.variant} vs reference oracle",
+            f"case: {self.case_id} (family={self.family} seed={self.seed})",
+            f"detail: {self.detail}",
+            f"minimised to query {len(self.query)} aa, "
+            f"{len(self.db_sequences)} subject(s) ({self.probes} probes)",
+            "",
+            "replay (python):",
+            "  from repro.io.database import SequenceDatabase",
+            "  from repro.verify.cases import build_case",
+            f"  case = build_case({self.family!r}, {self.seed})  # full case",
+            f"  query = {self.query!r}",
+            f"  db = SequenceDatabase.from_strings({self.db_sequences!r})",
+            "  # reference vs the variant engine, under case.params, on",
+            "  # (query, db) diverges",
+            "",
+            "replay (cli):",
+            f"  repro verify --families {self.family} --seed {self.seed} --cases 1",
+        ]
+        return "\n".join(lines)
+
+
+def _divergence(
+    run_oracle: Callable[["Case"], "SearchResult"],
+    run_variant: Callable[["Case"], "SearchResult"],
+    case: "Case",
+) -> str | None:
+    """The divergence description for ``case``, or ``None`` if conformant.
+
+    A variant error where the oracle succeeds counts as a divergence; an
+    oracle error rejects the candidate (shrinking must not wander outside
+    the oracle's input envelope).
+    """
+    try:
+        oracle = run_oracle(case)
+    except Exception:
+        return None
+    try:
+        variant = run_variant(case)
+    except Exception as exc:
+        return f"variant raised {type(exc).__name__}: {exc}"
+    return first_divergence(oracle, variant)
+
+
+def _with_inputs(case: "Case", query: str, seqs: list[str]) -> "Case":
+    db = SequenceDatabase.from_strings(
+        seqs, [f"min|{i}" for i in range(len(seqs))]
+    )
+    return replace(case, query=query, db=db)
+
+
+def minimise(
+    case: "Case",
+    variant_name: str,
+    run_oracle: Callable[["Case"], "SearchResult"],
+    run_variant: Callable[["Case"], "SearchResult"],
+    detail: str,
+    probe_budget: int = DEFAULT_PROBE_BUDGET,
+) -> Reproducer:
+    """Shrink ``case`` while the (oracle, variant) divergence persists."""
+    query = case.query
+    seqs = [case.db.sequence_str(i) for i in range(len(case.db))]
+    probes = 0
+
+    def still_diverges(q: str, s: list[str]) -> str | None:
+        nonlocal probes
+        if probes >= probe_budget or not s or len(q) < _MIN_QUERY:
+            return None
+        probes += 1
+        return _divergence(run_oracle, run_variant, _with_inputs(case, q, s))
+
+    # -- db-shrink: ddmin-style chunk removal over the subject list.
+    chunk = max(1, len(seqs) // 2)
+    while chunk >= 1 and probes < probe_budget:
+        removed_any = False
+        i = 0
+        while i < len(seqs) and len(seqs) > 1 and probes < probe_budget:
+            candidate = seqs[:i] + seqs[i + chunk :]
+            if candidate and still_diverges(query, candidate):
+                seqs = candidate
+                removed_any = True  # retry same index: the list shifted
+            else:
+                i += chunk
+        if chunk == 1 and not removed_any:
+            break
+        chunk = max(1, chunk // 2) if chunk > 1 else (1 if removed_any else 0)
+
+    # -- query-shrink: trim halving-sized pieces off each end.
+    for side in ("right", "left"):
+        trim = max(1, (len(query) - _MIN_QUERY) // 2)
+        while trim >= 1 and len(query) - trim >= _MIN_QUERY and probes < probe_budget:
+            candidate = query[:-trim] if side == "right" else query[trim:]
+            if still_diverges(candidate, seqs):
+                query = candidate
+            else:
+                trim //= 2
+
+    # Refresh the detail against the final minimised inputs (it may have
+    # sharpened, e.g. from a count mismatch to a single-field diff).
+    final = _divergence(run_oracle, run_variant, _with_inputs(case, query, seqs))
+    return Reproducer(
+        case_id=case.case_id,
+        family=case.family,
+        seed=case.seed,
+        variant=variant_name,
+        detail=final or detail,
+        query=query,
+        db_sequences=seqs,
+        probes=probes,
+        params=case.params,
+    )

@@ -1,0 +1,121 @@
+"""Seed-pinning audit: no unseeded randomness anywhere in the tree.
+
+Conformance failures must replay deterministically from a recorded seed,
+which only holds if *every* random draw in the library, the tests, the
+benchmarks and the examples flows from an explicit seed. This audit
+scans the source tree for the two ways unseeded randomness enters:
+
+* ``np.random.default_rng()`` with no argument (OS-entropy seeded);
+* the legacy global-state API (``np.random.seed`` / ``np.random.rand`` /
+  ``np.random.choice`` etc. called on the module), whose hidden global
+  stream cannot be pinned per-case;
+* the stdlib ``random`` module's global functions.
+
+Run as a test so the property is continuously enforced, not a one-off
+cleanup.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Trees whose randomness must be seed-pinned.
+SCAN_DIRS = ("src", "tests", "benchmarks", "examples")
+
+#: ``default_rng()`` / ``default_rng( )`` — entropy-seeded generator.
+BARE_DEFAULT_RNG = re.compile(r"default_rng\(\s*\)")
+
+#: Legacy numpy global-state API: ``np.random.<fn>(`` for any function
+#: other than constructing an explicit Generator/SeedSequence.
+LEGACY_NP_RANDOM = re.compile(
+    r"np\.random\.(?!default_rng\b|Generator\b|SeedSequence\b)[a-z_]+\s*\("
+)
+
+#: Stdlib ``random.<fn>(`` global calls (``import random`` misuse); the
+#: word boundary avoids matching methods like ``rng.random(``.
+STDLIB_RANDOM = re.compile(
+    r"(?<![.\w])random\.(random|randint|choice|shuffle|seed|uniform|sample)\s*\("
+)
+
+
+def _python_files():
+    for d in SCAN_DIRS:
+        root = REPO / d
+        if root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+
+
+def _violations(pattern: re.Pattern) -> list[str]:
+    this_file = Path(__file__).resolve()
+    out = []
+    for path in _python_files():
+        if path.resolve() == this_file:
+            continue  # the patterns themselves live here
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("#", 1)[0]  # ignore comments
+            if pattern.search(stripped):
+                out.append(f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
+    return out
+
+
+class TestSeedPinning:
+    def test_scan_finds_files(self):
+        files = list(_python_files())
+        assert len(files) > 100, "audit lost sight of the source tree"
+
+    def test_no_bare_default_rng(self):
+        hits = _violations(BARE_DEFAULT_RNG)
+        assert not hits, (
+            "unseeded default_rng() found — thread an explicit seed "
+            "through:\n" + "\n".join(hits)
+        )
+
+    def test_no_legacy_numpy_global_random(self):
+        hits = _violations(LEGACY_NP_RANDOM)
+        assert not hits, (
+            "legacy np.random.* global-state call found — use "
+            "np.random.default_rng(seed):\n" + "\n".join(hits)
+        )
+
+    def test_no_stdlib_global_random(self):
+        hits = _violations(STDLIB_RANDOM)
+        assert not hits, (
+            "stdlib random.* global call found — use a seeded "
+            "np.random.default_rng:\n" + "\n".join(hits)
+        )
+
+    def test_audit_catches_a_plant(self, tmp_path):
+        """The patterns themselves are live (guard against regex rot)."""
+        assert BARE_DEFAULT_RNG.search("rng = np.random.default_rng()")
+        assert LEGACY_NP_RANDOM.search("x = np.random.randint(0, 5)")
+        assert LEGACY_NP_RANDOM.search("np.random.seed(42)")
+        assert not LEGACY_NP_RANDOM.search("np.random.default_rng(7)")
+        assert not LEGACY_NP_RANDOM.search("np.random.SeedSequence(7)")
+        assert STDLIB_RANDOM.search("import random; random.shuffle(xs)")
+        assert not STDLIB_RANDOM.search("rng.random(3)")
+        assert not STDLIB_RANDOM.search("spec.random.choice")
+
+
+@pytest.mark.parametrize("family", ["random", "homolog", "lowcomplexity", "pileup", "boundary"])
+class TestBuilderDeterminism:
+    def test_same_seed_same_case(self, family):
+        from repro.verify import build_case
+
+        a = build_case(family, 31337)
+        b = build_case(family, 31337)
+        assert a.query == b.query
+        assert a.case_id == b.case_id
+        assert [a.db.sequence_str(i) for i in range(len(a.db))] == [
+            b.db.sequence_str(i) for i in range(len(b.db))
+        ]
+        assert a.params == b.params
+
+    def test_seed_is_recorded(self, family):
+        from repro.verify import build_case
+
+        case = build_case(family, 424242)
+        assert case.seed == 424242
+        assert str(case.seed) in case.case_id

@@ -4,7 +4,10 @@ import pytest
 
 from repro.baselines import FsaBlast
 from repro.batch import BatchResult, batch_search
+from repro.engine import BatchExecutor, make_engine
+from repro.errors import SequenceError
 from repro.io import generate_query
+from repro.io.database import SequenceDatabase
 
 
 @pytest.fixture(scope="module")
@@ -125,3 +128,97 @@ class TestBatchSearch:
         batch = batch_search(queries, tiny_db, tiny_params)
         assert "q1" in batch._by_id
         assert batch.result_for("q1") is batch._by_id["q1"].result
+
+
+class _PoisonedEngine:
+    """Reference engine that raises mid-run for one designated query id."""
+
+    name = "poisoned"
+
+    def __init__(self, params, poison_id):
+        self._inner = make_engine("reference", params)
+        self.params = params
+        self.poison_id = poison_id
+
+    def compile(self, query):
+        return self._inner.compile(query)
+
+    def run(self, compiled, db, query_id=None):
+        if query_id == self.poison_id:
+            raise RuntimeError("engine exploded mid-stream")
+        return self._inner.run(compiled, db, query_id=query_id)
+
+
+class TestExecutorErrorIsolation:
+    """An engine raising mid-stream must not poison siblings or reorder."""
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_mid_stream_failure_is_isolated(self, queries, tiny_db, tiny_params, jobs):
+        engine = _PoisonedEngine(tiny_params, poison_id="q1")
+        executor = BatchExecutor(engine, jobs=jobs, collect_reports=False)
+        outcomes = list(executor.stream(queries, tiny_db))
+        assert [o.query_id for o in outcomes] == ["q0", "q1", "q2"]
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert isinstance(outcomes[1].error, RuntimeError)
+        assert outcomes[1].result is None
+
+    def test_sibling_results_unperturbed_by_failure(self, queries, tiny_db, tiny_params):
+        clean = BatchExecutor(
+            make_engine("reference", tiny_params), collect_reports=False
+        )
+        expected = {
+            o.query_id: [(a.seq_id, a.score) for a in o.result.alignments]
+            for o in clean.stream(queries, tiny_db)
+        }
+        poisoned = BatchExecutor(
+            _PoisonedEngine(tiny_params, poison_id="q1"),
+            jobs=3,
+            collect_reports=False,
+        )
+        for o in poisoned.stream(queries, tiny_db):
+            if o.query_id == "q1":
+                continue
+            assert [(a.seq_id, a.score) for a in o.result.alignments] == expected[
+                o.query_id
+            ]
+
+    def test_all_queries_failing_still_streams_in_order(self, queries, tiny_db, tiny_params):
+        engine = _PoisonedEngine(tiny_params, poison_id=None)
+        engine.run = lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom"))
+        executor = BatchExecutor(engine, jobs=2, collect_reports=False)
+        outcomes = list(executor.stream(queries, tiny_db))
+        assert [o.query_id for o in outcomes] == ["q0", "q1", "q2"]
+        assert all(not o.ok for o in outcomes)
+
+
+class TestExecutorEdgeCases:
+    def test_empty_database_rejected_at_construction(self):
+        with pytest.raises(SequenceError, match="at least one sequence"):
+            SequenceDatabase.from_strings([])
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(SequenceError, match="empty sequences"):
+            SequenceDatabase.from_strings(["MKTAYI", ""])
+
+    def test_single_residue_query_is_isolated_not_fatal(self, queries, tiny_db, tiny_params):
+        executor = BatchExecutor(
+            make_engine("reference", tiny_params), collect_reports=False
+        )
+        mixed = [queries[0], ("tiny", "M"), queries[1]]
+        outcomes = list(executor.stream(mixed, tiny_db))
+        assert [o.query_id for o in outcomes] == [queries[0][0], "tiny", queries[1][0]]
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert "word length" in str(outcomes[1].error)
+
+    def test_single_residue_subject_database_searchable(self, tiny_params):
+        db = SequenceDatabase.from_strings(["M"])
+        executor = BatchExecutor(
+            make_engine("reference", tiny_params), collect_reports=False
+        )
+        [outcome] = list(executor.stream([("q", "MKTAYIAKQRQISFVKSHFSRQL")], db))
+        assert outcome.ok
+        assert outcome.result.num_hits == 0  # subject shorter than a word
+        assert outcome.result.alignments == []
