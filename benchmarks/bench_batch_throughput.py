@@ -1,0 +1,206 @@
+"""Tracked batch-throughput benchmark: backend x jobs x query-length mix.
+
+The repo's first *performance trajectory*: every run writes a JSON record
+(``BENCH_batch_throughput.json`` by default) with queries/sec, per-phase
+wall breakdowns from the :class:`~repro.engine.events.EventLog`, and
+speedup-vs-serial for each (backend, jobs) cell, so regressions in the
+process-pool execution path show up as numbers, not vibes.
+
+The workload is a saved binary database (one save, every run re-opens it
+``mmap``-ed — both backends exercise the PR 2 storage path) and a
+mixed-length query batch cycling the paper's 127/517/1054 query set.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py \
+        --queries 64 --db-sequences 10000 --jobs 1,2,4
+
+CI runs a small sweep with ``--assert-process-geq-thread``: on a
+multi-core runner the process backend must at least match the thread
+backend at the highest jobs value (the GIL-bound hot phases make threads
+plateau near serial; warm processes actually scale).
+
+The JSON is honest about its host: ``host.cpu_count`` is recorded, and a
+single-core box will legitimately show speedup ~1 for every cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import MIXED_QUERY_LENGTHS, print_table  # noqa: E402
+
+from repro.core import SearchParams  # noqa: E402
+from repro.engine import BatchExecutor, EventLog, make_engine  # noqa: E402
+from repro.io import generate_database, generate_query  # noqa: E402
+from repro.io.workloads import WorkloadSpec  # noqa: E402
+
+#: Schema version of the JSON record (bump on incompatible change).
+BENCH_SCHEMA_VERSION = 1
+
+
+def build_workload(args) -> tuple[Path, list[tuple[str, str]], SearchParams, dict]:
+    """Generate the database, save it binary, and build the query mix."""
+    spec = WorkloadSpec(
+        name="throughput",
+        num_sequences=args.db_sequences,
+        mean_length=args.mean_length,
+        homolog_fraction=0.05,
+        seed=args.seed,
+        emulated_residues=110_000_000,
+    )
+    db = generate_database(spec)
+    fd, name = tempfile.mkstemp(prefix="repro-bench-throughput-", suffix=".rpdb")
+    os.close(fd)
+    db.save(name)
+    lengths = MIXED_QUERY_LENGTHS
+    queries = [
+        (
+            f"q{i:03d}-len{lengths[i % len(lengths)]}",
+            generate_query(lengths[i % len(lengths)], spec, query_seed=args.seed + i),
+        )
+        for i in range(args.queries)
+    ]
+    params = SearchParams(**spec.search_params_kwargs)
+    workload = {
+        "db_sequences": len(db),
+        "db_residues": int(db.codes.size),
+        "num_queries": len(queries),
+        "query_lengths": list(lengths),
+        "seed": args.seed,
+        "engine": args.engine,
+    }
+    return Path(name), queries, params, workload
+
+
+def run_cell(
+    engine_name: str,
+    params: SearchParams,
+    backend: str,
+    jobs: int,
+    queries: list[tuple[str, str]],
+    db_path: Path,
+) -> dict:
+    """One (backend, jobs) cell: fresh engine, fresh event log, one batch."""
+    events = EventLog()
+    engine = make_engine(engine_name, params, events=events)
+    executor = BatchExecutor(
+        engine, jobs=jobs, backend=backend, collect_reports=False, events=events
+    )
+    t0 = time.perf_counter()
+    batch = executor.run(queries, db_path)
+    wall_s = time.perf_counter() - t0
+    errors = [(qid, str(e)) for qid, e in batch.errors]
+    if errors:
+        raise RuntimeError(f"{backend}/jobs={jobs} had query failures: {errors[:3]}")
+    phase_wall = {k: round(v, 3) for k, v in sorted(events.wall_breakdown().items())}
+    return {
+        "backend": backend,
+        "jobs": jobs,
+        "wall_s": round(wall_s, 3),
+        "qps": round(len(queries) / wall_s, 3),
+        "phase_wall_ms": phase_wall,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--engine", default="reference",
+                    help="engine under test (default: reference — the "
+                    "pure-Python hot loops the process backend exists for)")
+    ap.add_argument("--queries", type=int, default=64)
+    ap.add_argument("--db-sequences", type=int, default=10_000)
+    ap.add_argument("--mean-length", type=int, default=250)
+    ap.add_argument("--seed", type=int, default=20140519)
+    ap.add_argument("--jobs", default="1,2,4",
+                    help="comma-separated jobs values to sweep")
+    ap.add_argument("--backends", default="thread,process")
+    ap.add_argument("--out", default=str(Path(__file__).parent.parent
+                                         / "BENCH_batch_throughput.json"))
+    ap.add_argument("--assert-process-geq-thread", action="store_true",
+                    help="fail unless process qps >= thread qps at the "
+                    "highest swept jobs value (CI gate; needs >1 core)")
+    args = ap.parse_args(argv)
+
+    jobs_list = [int(j) for j in args.jobs.split(",") if j.strip()]
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    print(f"batch throughput: {args.queries} queries (lengths "
+          f"{'/'.join(map(str, MIXED_QUERY_LENGTHS))}), "
+          f"{args.db_sequences} sequences, engine={args.engine}, "
+          f"cpu_count={os.cpu_count()}")
+
+    db_path, queries, params, workload = build_workload(args)
+    try:
+        serial = run_cell(args.engine, params, "thread", 1, queries, db_path)
+        print(f"  serial baseline: {serial['wall_s']:.2f}s "
+              f"({serial['qps']:.2f} q/s)")
+        runs = []
+        for backend in backends:
+            for jobs in jobs_list:
+                cell = run_cell(args.engine, params, backend, jobs, queries, db_path)
+                cell["speedup_vs_serial"] = round(serial["wall_s"] / cell["wall_s"], 3)
+                runs.append(cell)
+                print(f"  {backend:<8} jobs={jobs}: {cell['wall_s']:.2f}s "
+                      f"({cell['qps']:.2f} q/s, {cell['speedup_vs_serial']:.2f}x)")
+    finally:
+        os.unlink(db_path)
+
+    record = {
+        "bench": "batch_throughput",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workload": workload,
+        "serial": serial,
+        "runs": runs,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    print_table(
+        "batch throughput",
+        ["backend", "jobs", "wall s", "q/s", "speedup", "top phase"],
+        [
+            [
+                r["backend"], r["jobs"], r["wall_s"], r["qps"],
+                r["speedup_vs_serial"],
+                max(r["phase_wall_ms"], key=r["phase_wall_ms"].get)
+                if r["phase_wall_ms"] else "-",
+            ]
+            for r in [dict(serial, speedup_vs_serial=1.0)] + runs
+        ],
+    )
+
+    if args.assert_process_geq_thread:
+        top = max(jobs_list)
+        by = {(r["backend"], r["jobs"]): r for r in runs}
+        thread = by.get(("thread", top))
+        proc = by.get(("process", top))
+        if thread is None or proc is None:
+            print(f"error: need both backends at jobs={top} for the assertion",
+                  file=sys.stderr)
+            return 2
+        if proc["qps"] < thread["qps"]:
+            print(f"FAIL: process qps {proc['qps']} < thread qps "
+                  f"{thread['qps']} at jobs={top}", file=sys.stderr)
+            return 1
+        print(f"OK: process qps {proc['qps']} >= thread qps {thread['qps']} "
+              f"at jobs={top}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

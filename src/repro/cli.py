@@ -105,7 +105,11 @@ def cmd_search(args: argparse.Namespace) -> int:
     # outcomes back in input order — so the printed report is identical
     # for every jobs value.
     executor = BatchExecutor(
-        engine, jobs=args.jobs, cache=QueryCache(), collect_reports=False
+        engine,
+        jobs=args.jobs,
+        backend=getattr(args, "backend", "thread"),
+        cache=QueryCache(),
+        collect_reports=False,
     )
     first_tabular = True
     failed = 0
@@ -256,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1,
         help="concurrent multi-query searches (results stay in input order)",
+    )
+    p_search.add_argument(
+        "--backend",
+        choices=BatchExecutor.BACKENDS,
+        default="thread",
+        help="worker pool flavour: threads share the GIL (cheap, limited "
+        "scaling); processes re-open the database via mmap and scale the "
+        "hot phases across cores",
     )
     p_search.set_defaults(func=cmd_search)
 

@@ -52,16 +52,36 @@ HEAD_CLOCK_GHZ = 3.1
 
 @dataclass
 class NodeResult:
-    """One node's search outcome and timing."""
+    """One node's search outcome and timing.
+
+    Under the serial backend the full :class:`CuBlastpReport` is kept and
+    :attr:`counts` / :attr:`elapsed_ms` / :attr:`breakdown` are derived
+    from it. Under the process backend the report stays in the worker
+    (it is large and not picklable-by-contract); only the derived fields
+    cross the boundary and :attr:`report` is ``None``.
+    """
 
     node: int
     num_sequences: int
     alignments: list[Alignment]
-    report: CuBlastpReport
+    report: CuBlastpReport | None = None
+    counts: dict[str, int] = field(default_factory=dict)
+    breakdown: dict[str, float] = field(default_factory=dict)
+    elapsed_ms: float = 0.0
 
-    @property
-    def elapsed_ms(self) -> float:
-        return self.report.overall_ms
+    def __post_init__(self) -> None:
+        if self.report is not None:
+            if not self.elapsed_ms:
+                self.elapsed_ms = float(self.report.overall_ms)
+            if not self.counts:
+                self.counts = {
+                    "num_hits": int(self.report.gpu.num_hits),
+                    "num_seeds": int(self.report.gpu.num_seeds),
+                    "num_ungapped_extensions": len(self.report.gpu.extensions),
+                    "num_gapped_extensions": len(self.report.cpu.gapped_extensions),
+                }
+            if not self.breakdown:
+                self.breakdown = dict(self.report.breakdown)
 
 
 @dataclass
@@ -94,6 +114,9 @@ class MultiGpuBlastp:
     the whole database (enforced by tests).
     """
 
+    #: Node-execution backends ``backend`` accepts.
+    BACKENDS = ("serial", "process")
+
     def __init__(
         self,
         query: str | np.ndarray | CompiledQuery,
@@ -103,10 +126,24 @@ class MultiGpuBlastp:
         device: DeviceSpec = K20C,
         *,
         store: DatabaseStore | None = None,
+        backend: str = "serial",
+        jobs: int | None = None,
     ) -> None:
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (choose from {', '.join(self.BACKENDS)})"
+            )
         self.num_nodes = num_nodes
+        #: ``"serial"`` runs nodes in-process one after another;
+        #: ``"process"`` fans them out over a
+        #: :class:`~repro.engine.procpool.ProcessPool` (each worker maps
+        #: the database from the binary format and runs whole node
+        #: searches).
+        self.backend = backend
+        #: Worker processes for the process backend (default: one per node).
+        self.jobs = jobs
         #: Store resolving database paths and caching shard partitions.
         self.store = store
         # One shared query compilation (the broadcast structures): every
@@ -149,6 +186,69 @@ class MultiGpuBlastp:
             report=report,
         )
 
+    def _run_nodes_process(
+        self,
+        db: SequenceDatabase,
+        db_source: SequenceDatabase | str | Path | None = None,
+    ) -> list[NodeResult]:
+        """Fan node searches out over a process pool.
+
+        Each worker maps the database from the binary format (spilled to a
+        temp file when ``db`` is in-memory), partitions it locally (the
+        partitioning is deterministic, so head and workers agree), and
+        runs whole cuBLASTP node searches. Unlike the batch executor's
+        per-query isolation, a failed node fails the cluster search — a
+        partial merge would silently drop that shard's alignments.
+        """
+        from repro.alphabet import decode
+        from repro.engine.procpool import (
+            ClusterNodeSpec,
+            ProcessPool,
+            database_path_for_workers,
+        )
+        from repro.verify.canonical import alignments_from_payload
+
+        # Statistics against the whole search space, as in _run_node —
+        # baked into the spec so workers need no extra coordination.
+        node_params = dataclasses.replace(
+            self.params,
+            effective_db_residues=self.params.effective_db_residues
+            or int(db.codes.size),
+        )
+        db_path, cleanup = database_path_for_workers(
+            db if db_source is None else db_source, store=self.store
+        )
+        spec = ClusterNodeSpec(
+            query=decode(self.compiled.query_codes),
+            params=node_params,
+            config=self.config,
+            device=self.device,
+            db_path=str(db_path),
+            num_nodes=self.num_nodes,
+        )
+        jobs = min(self.jobs or self.num_nodes, self.num_nodes)
+        pool = ProcessPool(spec, jobs=jobs)
+        nodes: list[NodeResult] = []
+        try:
+            for _index, payload, error in pool.run(range(self.num_nodes)):
+                if error is not None:
+                    raise error
+                nodes.append(
+                    NodeResult(
+                        node=payload["node"],
+                        num_sequences=payload["num_sequences"],
+                        alignments=alignments_from_payload(payload["alignments"]),
+                        counts=payload["counts"],
+                        breakdown=payload["breakdown"],
+                        elapsed_ms=payload["elapsed_ms"],
+                    )
+                )
+        finally:
+            pool.shutdown()
+            if cleanup is not None:
+                cleanup()
+        return nodes
+
     # -- the head-node merge ---------------------------------------------------
 
     @staticmethod
@@ -167,22 +267,33 @@ class MultiGpuBlastp:
         which also caches the node partitioning — successive queries
         against the same resident database fragment it once.
         """
-        if isinstance(db, (str, Path)):
-            if self.store is None:
-                self.store = get_default_store()
-            handles = self.store.shards(db, self.num_nodes)
-            parts = [h.partition for h in handles]
-            db = self.store.open(db)
-        elif self.store is not None:
-            self.store.add(f"<cluster-db-{id(db)}>", db)
-            parts = [
-                h.partition
-                for h in self.store.shards(f"<cluster-db-{id(db)}>", self.num_nodes)
-            ]
+        if self.backend == "process":
+            # Keep the caller's path form: an already-saved binary
+            # database passes straight to the workers, no re-spill.
+            db_source = db
+            if isinstance(db, (str, Path)):
+                if self.store is None:
+                    self.store = get_default_store()
+                db = self.store.open(db)
+            full_residues = int(db.codes.size)
+            nodes = self._run_nodes_process(db, db_source)
         else:
-            parts = partition_database(db, self.num_nodes)
-        full_residues = int(db.codes.size)
-        nodes = [self._run_node(p, full_residues) for p in parts]
+            if isinstance(db, (str, Path)):
+                if self.store is None:
+                    self.store = get_default_store()
+                handles = self.store.shards(db, self.num_nodes)
+                parts = [h.partition for h in handles]
+                db = self.store.open(db)
+            elif self.store is not None:
+                self.store.add(f"<cluster-db-{id(db)}>", db)
+                parts = [
+                    h.partition
+                    for h in self.store.shards(f"<cluster-db-{id(db)}>", self.num_nodes)
+                ]
+            else:
+                parts = partition_database(db, self.num_nodes)
+            full_residues = int(db.codes.size)
+            nodes = [self._run_node(p, full_residues) for p in parts]
 
         compute_ms = max(n.elapsed_ms for n in nodes)
         total_records = sum(len(n.alignments) for n in nodes)
@@ -217,13 +328,13 @@ class MultiGpuBlastp:
             db_sequences=len(db),
             db_residues=full_residues,
             alignments=merged,
-            num_hits=sum(n.report.gpu.num_hits for n in nodes),
-            num_seeds=sum(n.report.gpu.num_seeds for n in nodes),
+            num_hits=sum(n.counts["num_hits"] for n in nodes),
+            num_seeds=sum(n.counts["num_seeds"] for n in nodes),
             num_ungapped_extensions=sum(
-                len(n.report.gpu.extensions) for n in nodes
+                n.counts["num_ungapped_extensions"] for n in nodes
             ),
             num_gapped_extensions=sum(
-                len(n.report.cpu.gapped_extensions) for n in nodes
+                n.counts["num_gapped_extensions"] for n in nodes
             ),
             num_reported=len(merged),
         )

@@ -173,14 +173,27 @@ def run_hit_detection(session: DeviceSession) -> tuple[BinnedHits, KernelProfile
 
     profile = launch(kernel, session.ctx, grid_blocks=grid_blocks)
 
-    counts = tops.data.reshape(num_warps, cfg.num_bins).astype(np.int64)
+    # Reused buffers may be larger than this launch needs: slice to the
+    # launch's extent before viewing.
+    counts = (
+        tops.data[: num_warps * cfg.num_bins]
+        .reshape(num_warps, cfg.num_bins)
+        .astype(np.int64)
+    )
     segments = counts.reshape(-1)
     offsets = np.zeros(segments.size + 1, dtype=np.int64)
     np.cumsum(segments, out=offsets[1:])
-    packed = np.zeros(int(offsets[-1]), dtype=np.int64)
-    raw = bins.data.reshape(num_warps * cfg.num_bins, cfg.bin_capacity)
-    for seg in np.nonzero(segments)[0]:
-        packed[offsets[seg] : offsets[seg + 1]] = raw[seg, : segments[seg]]
+    # Single ragged gather: element t of segment seg lives at flat bin
+    # index seg * bin_capacity + (t - offsets[seg]); building the source
+    # index vector with repeat + arange replaces the per-segment Python
+    # copy loop (num_warps * num_bins iterations) with one fancy-index.
+    total = int(offsets[-1])
+    flat = bins.data[: num_warps * cfg.num_bins * cfg.bin_capacity]
+    src = np.repeat(
+        np.arange(segments.size, dtype=np.int64) * cfg.bin_capacity - offsets[:-1],
+        segments,
+    ) + np.arange(total, dtype=np.int64)
+    packed = flat[src]
     binned = BinnedHits(
         packed=packed,
         segment_offsets=offsets,
@@ -194,13 +207,22 @@ def run_hit_detection(session: DeviceSession) -> tuple[BinnedHits, KernelProfile
 
 
 def _alloc_unique(mem, name: str, size: int, dtype=np.int64):
-    """Allocate ``name``, uniquifying on re-launch within the same session.
+    """Working buffer for ``name``, reused across re-launches when possible.
 
-    The canonical name in ``mem.buffers`` always points at the newest
-    allocation, so kernels that look buffers up by name see this launch's.
+    Re-launches within one session (parameter sweeps, repeated searches)
+    used to append a fresh ``name.N`` allocation every time — unbounded
+    growth of the simulated heap. The active allocation is now reused
+    (zeroed) whenever its dtype matches and it is large enough; only
+    genuine growth allocates a successor. The canonical name in
+    ``mem.buffers`` always points at the active allocation, so kernels
+    that look buffers up by name see this launch's.
     """
-    if name not in mem.buffers:
+    existing = mem.buffers.get(name)
+    if existing is None:
         return mem.alloc_zeros(name, size, dtype)
+    if existing.data.dtype == np.dtype(dtype) and existing.data.size >= size:
+        existing.data[:] = 0
+        return existing
     i = 1
     while f"{name}.{i}" in mem.buffers:
         i += 1

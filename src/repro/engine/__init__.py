@@ -13,7 +13,12 @@ can be scheduled on the resource that suits it:
   by registry name;
 * :mod:`~repro.engine.executor` — :class:`BatchExecutor`, the concurrent
   batch scheduler (database residency, bounded in-flight queries,
-  per-query error isolation, deterministic input-order streaming);
+  per-query error isolation, deterministic input-order streaming) with
+  thread and process backends;
+* :mod:`~repro.engine.procpool` — the process backend's machinery:
+  :class:`ProcessPool` (persistent warm workers, crash isolation and
+  respawn) and :class:`EngineSpec` (the picklable engine description
+  that crosses the process boundary);
 * :mod:`~repro.engine.events` — the phase-level :class:`PhaseEvent` /
   :class:`EventLog` stream all engines emit into.
 """
@@ -21,6 +26,13 @@ can be scheduled on the resource that suits it:
 from repro.engine.compiled import CompiledQuery, QueryCache, compile_query, compile_signature
 from repro.engine.events import EventLog, PhaseEvent
 from repro.engine.executor import BatchExecutor, QueryOutcome
+from repro.engine.procpool import (
+    EngineSpec,
+    ProcessPool,
+    RemoteTaskError,
+    WorkerCrashError,
+    database_path_for_workers,
+)
 from repro.engine.protocol import (
     CUBLASTP_STRATEGY_NAMES,
     ENGINE_NAMES,
@@ -35,12 +47,17 @@ __all__ = [
     "BatchExecutor",
     "CompiledQuery",
     "Engine",
+    "EngineSpec",
     "EventLog",
     "PhaseEvent",
+    "ProcessPool",
     "QueryCache",
     "QueryOutcome",
+    "RemoteTaskError",
     "ReportingEngine",
+    "WorkerCrashError",
     "compile_query",
     "compile_signature",
+    "database_path_for_workers",
     "make_engine",
 ]

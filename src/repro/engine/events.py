@@ -16,6 +16,7 @@ them. A search with no log attached emits nothing and pays nothing.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -45,6 +46,11 @@ class PhaseEvent:
         only; the performance-modelled engines emit both).
     query_id:
         Batch query identifier, when the search runs under one.
+    t_wall:
+        ``time.perf_counter()`` at emission — real elapsed host time, as
+        opposed to the *modelled* times above. :meth:`EventLog.wall_breakdown`
+        pairs start/end stamps into measured per-phase durations (what the
+        throughput benchmark reports).
     meta:
         Engine-specific extras (kernel profile stats, thread counts, ...).
     """
@@ -56,6 +62,7 @@ class PhaseEvent:
     work_items: int | None = None
     modelled_ms: float | None = None
     query_id: str | None = None
+    t_wall: float | None = None
     meta: dict[str, Any] = field(default_factory=dict)
 
 
@@ -93,6 +100,7 @@ class EventLog:
                 work_items=work_items,
                 modelled_ms=modelled_ms,
                 query_id=query_id,
+                t_wall=time.perf_counter(),
                 meta=meta,
             )
             self._events.append(event)
@@ -158,6 +166,38 @@ class EventLog:
         for e in self.ends(engine, query_id):
             if e.modelled_ms is not None:
                 out[e.phase] = out.get(e.phase, 0.0) + e.modelled_ms
+        return out
+
+    def wall_breakdown(
+        self, engine: str | None = None, query_id: str | None = None
+    ) -> dict[str, float]:
+        """Phase -> *measured* wall ms, paired from start/end stamps.
+
+        Unlike :meth:`breakdown` (modelled attribution), this reports
+        real elapsed host time. Start/end events are paired per
+        ``(engine, query_id, phase)`` — concurrent searches interleave in
+        the log but carry distinct query ids, so pairing stays exact. End
+        events carrying a ``wall_ms`` meta entry (re-emitted across a
+        process boundary, where the parent never saw the start) contribute
+        it directly.
+        """
+        out: dict[str, float] = {}
+        open_starts: dict[tuple, list[float]] = {}
+        for e in self.events:
+            if engine is not None and e.engine != engine:
+                continue
+            if query_id is not None and e.query_id != query_id:
+                continue
+            key = (e.engine, e.query_id, e.phase)
+            if e.kind == "start":
+                open_starts.setdefault(key, []).append(e.t_wall)
+            elif e.kind == "end":
+                if "wall_ms" in e.meta:
+                    out[e.phase] = out.get(e.phase, 0.0) + float(e.meta["wall_ms"])
+                    continue
+                stack = open_starts.get(key)
+                if stack and stack[-1] is not None and e.t_wall is not None:
+                    out[e.phase] = out.get(e.phase, 0.0) + (e.t_wall - stack.pop()) * 1e3
         return out
 
     def work_items(

@@ -14,6 +14,23 @@ residency across a query stream. Wherever a database is accepted, a path
 to a saved one works too: it is resolved through a
 :class:`~repro.io.store.DatabaseStore` (mmap-loaded, LRU-resident), so
 successive batches against the same file reuse one mapping.
+
+Two backends share the scheduling contract (input-order streaming,
+bounded in-flight work, per-query error isolation):
+
+``backend="thread"``
+    In-process thread pool. Zero marshalling, shared database object —
+    but the hot phases hold the GIL, so CPU scaling is limited.
+``backend="process"``
+    Persistent warm worker processes (:mod:`repro.engine.procpool`).
+    Each worker builds the engine once and re-opens the database through
+    the versioned binary format (``mmap``, no pickling); only query
+    strings and canonical-form result payloads cross the boundary. This
+    is the backend that actually scales the GIL-bound phases across
+    cores. In-memory databases are spilled to a temporary binary file
+    for the batch. Reports are not collected (they would have to be
+    pickled); attach an :class:`~repro.engine.events.EventLog` for the
+    per-phase story instead.
 """
 
 from __future__ import annotations
@@ -77,11 +94,25 @@ class BatchExecutor:
         Any :class:`~repro.engine.protocol.Engine` (defaults to cuBLASTP
         with default parameters — see :func:`~repro.engine.protocol.make_engine`).
     jobs:
-        Worker threads. ``1`` runs inline (no pool); results are in input
-        order and byte-identical regardless of ``jobs``.
+        Worker threads (or processes). Under the thread backend ``1``
+        runs inline (no pool); results are in input order and
+        byte-identical regardless of ``jobs`` and backend.
+    backend:
+        ``"thread"`` (default) or ``"process"`` — see the module
+        docstring for the tradeoff.
     max_in_flight:
         Bound on submitted-but-unconsumed queries (defaults to
-        ``2 * jobs``) — backpressure for unbounded query streams.
+        ``2 * jobs``) — backpressure for unbounded query streams. The
+        process backend applies it in units of chunks.
+    chunk_size:
+        Queries per dispatch message (process backend only; default 1).
+        Raise it when queries are very cheap relative to IPC.
+    mp_context:
+        ``multiprocessing`` start method for the process backend
+        (defaults to ``fork`` where available, else ``spawn``).
+    spec:
+        Explicit :class:`~repro.engine.procpool.EngineSpec` for the
+        process backend; by default it is derived from ``engine``.
     cache:
         Optional :class:`~repro.engine.compiled.QueryCache`; repeated
         sequences skip recompilation and outcomes flag ``cache_hit``.
@@ -97,28 +128,45 @@ class BatchExecutor:
         process-wide store).
     """
 
+    #: Execution backends ``backend`` accepts.
+    BACKENDS = ("thread", "process")
+
     def __init__(
         self,
         engine: Engine | None = None,
         *,
         jobs: int = 1,
+        backend: str = "thread",
         max_in_flight: int | None = None,
         cache: QueryCache | None = None,
         collect_reports: bool = True,
         events: EventLog | None = None,
         store: "DatabaseStore | None" = None,
+        chunk_size: int | None = None,
+        mp_context: str | None = None,
+        spec: Any | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (choose from {', '.join(self.BACKENDS)})"
+            )
         if max_in_flight is not None and max_in_flight < jobs:
             raise ValueError("max_in_flight must be >= jobs")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
         self.engine = engine if engine is not None else make_engine("cublastp", events=events)
         self.jobs = jobs
+        self.backend = backend
         self.max_in_flight = max_in_flight if max_in_flight is not None else 2 * jobs
         self.cache = cache
         self.collect_reports = collect_reports
         self.events = events
         self.store = store
+        self.chunk_size = chunk_size if chunk_size is not None else 1
+        self.mp_context = mp_context
+        self.spec = spec
 
     def _resolve_db(self, db: "DatabaseLike") -> "SequenceDatabase":
         """Pass databases through; open paths via the (default) store."""
@@ -165,6 +213,9 @@ class BatchExecutor:
         submission: at most :attr:`max_in_flight` queries are in flight
         ahead of the consumer.
         """
+        if self.backend == "process":
+            yield from self._stream_process(queries, db)
+            return
         db = self._resolve_db(db)
         if self.jobs == 1:
             for index, (query_id, sequence) in enumerate(queries):
@@ -183,6 +234,65 @@ class BatchExecutor:
                 yield pending.popleft().result()
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
+
+    def _stream_process(
+        self, queries: Iterable[tuple[str, str]], db: "DatabaseLike"
+    ) -> Iterator[QueryOutcome]:
+        """The process-backend stream: warm workers over the binary format."""
+        from repro.engine.procpool import (
+            EngineSpec,
+            ProcessPool,
+            QueryTaskSpec,
+            database_path_for_workers,
+        )
+        from repro.verify.canonical import result_from_payload
+
+        engine_spec = self.spec or EngineSpec.from_engine(self.engine)
+        db_path, cleanup = database_path_for_workers(db, store=self.store)
+        task_spec = QueryTaskSpec(
+            engine=engine_spec,
+            db_path=str(db_path),
+            collect_events=self.events is not None,
+        )
+        pool = ProcessPool(task_spec, jobs=self.jobs, mp_context=self.mp_context)
+        # Query ids are recorded as the pool consumes the (lazy) stream,
+        # so an outcome can always name its query even on a crash.
+        ids: dict[int, str] = {}
+
+        def tasks() -> Iterator[tuple[str, str]]:
+            for i, (query_id, sequence) in enumerate(queries):
+                ids[i] = query_id
+                yield query_id, sequence
+
+        try:
+            for index, payload, error in pool.run(
+                tasks(),
+                chunk_size=self.chunk_size,
+                max_in_flight_chunks=max(self.max_in_flight, self.jobs),
+            ):
+                query_id = ids.pop(index, f"query-{index}")
+                if error is not None:
+                    yield QueryOutcome(index, query_id, error=error)
+                    continue
+                if self.events is not None:
+                    engine_name = payload.get("engine", engine_spec.name)
+                    for phase, work_items, modelled_ms, wall_ms in payload.get("events", []):
+                        self.events.emit(
+                            engine_name,
+                            phase,
+                            "end",
+                            work_items=work_items,
+                            modelled_ms=modelled_ms,
+                            query_id=query_id,
+                            **({"wall_ms": wall_ms} if wall_ms is not None else {}),
+                        )
+                yield QueryOutcome(
+                    index, query_id, result=result_from_payload(payload["result"])
+                )
+        finally:
+            pool.shutdown()
+            if cleanup is not None:
+                cleanup()
 
     def run(self, queries: Iterable[tuple[str, str]], db: "DatabaseLike") -> "BatchResult":
         """Run the whole batch and aggregate it into a :class:`BatchResult`."""

@@ -1,0 +1,621 @@
+"""Process-pool execution backend: warm workers over the mmap store.
+
+The thread-pooled :class:`~repro.engine.executor.BatchExecutor` keeps the
+database resident but cannot buy CPU parallelism for the hot phases — the
+gapped-extension row loop, the gpusim warp interpreter, and ragged hit
+expansion all hold the GIL, so ``--jobs 8`` on an 8-core box runs barely
+faster than serial. This module is the escape hatch the zero-copy storage
+layer (PR 2) was built to enable: a database saved in the versioned
+binary format re-opens in a *worker process* for the cost of a
+``mmap(2)``, so the only things that ever cross the process boundary are
+
+* once, at worker start: a compact, picklable task spec (engine registry
+  name + :class:`~repro.core.statistics.SearchParams` + configuration,
+  and the database *path*);
+* per query: the ``(query_id, sequence)`` pair going out, and a
+  canonical-form result payload (:mod:`repro.verify.canonical`) coming
+  back — exact ``repr``-round-tripped floats, no pickled result objects.
+
+Layers
+------
+:class:`ProcessPool`
+    Generic persistent-worker pool: chunked dispatch with bounded
+    in-flight chunks, input-order streaming, worker-crash isolation (a
+    dead worker fails only its in-flight tasks and is respawned), and a
+    respawn budget so a deterministically-crashing setup cannot spin.
+:class:`EngineSpec`
+    The picklable description of an engine (what crosses the boundary
+    instead of the engine object).
+:class:`QueryTaskSpec`
+    The search task: build the engine once per worker, ``mmap`` the
+    database once per worker, then stream queries.
+:class:`ClusterNodeSpec`
+    The cluster task: each worker maps the database, partitions it
+    locally, and runs whole cuBLASTP node searches.
+
+:func:`database_path_for_workers` is the in-memory fallback: anything
+that is not already a saved binary database is spilled to a temporary
+``.rpdb`` file so every caller can opt in to process execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from queue import Empty
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from repro.engine.protocol import Engine, make_engine
+
+if TYPE_CHECKING:
+    from repro.core.statistics import SearchParams
+    from repro.cublastp.config import CuBlastpConfig
+    from repro.io.database import SequenceDatabase
+    from repro.io.store import DatabaseStore
+
+
+class WorkerCrashError(RuntimeError):
+    """The worker process holding this task died before finishing it."""
+
+
+class RemoteTaskError(RuntimeError):
+    """An exception raised inside a worker, rehydrated at the parent.
+
+    Carries the original type name and the remote traceback text (the
+    exception object itself never crosses the boundary).
+    """
+
+    def __init__(self, exc_type: str, message: str, remote_traceback: str = "") -> None:
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type
+        self.remote_traceback = remote_traceback
+
+
+def _encode_error(exc: BaseException) -> dict:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+
+
+def _decode_error(payload: dict) -> RemoteTaskError:
+    return RemoteTaskError(payload["type"], payload["message"], payload["traceback"])
+
+
+# -- the engine spec -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Picklable description of an engine: what a worker rebuilds locally.
+
+    Mirrors :func:`~repro.engine.protocol.make_engine`'s arguments — a
+    registry ``name`` plus the small parameter/configuration dataclasses.
+    A worker calls :meth:`build` once and reuses the engine for every
+    query it is handed.
+    """
+
+    name: str
+    params: "SearchParams | None" = None
+    config: "CuBlastpConfig | None" = None
+    threads: int | None = None
+    device: Any | None = None
+
+    def build(self, events=None) -> Engine:
+        return make_engine(
+            self.name,
+            self.params,
+            config=self.config,
+            threads=self.threads,
+            device=self.device,
+            events=events,
+        )
+
+    @classmethod
+    def from_engine(cls, engine: Engine) -> "EngineSpec":
+        """Derive the spec of a live engine instance.
+
+        Works for every registry engine; hand-built engine objects that
+        are not registry types cannot cross the process boundary — pass
+        an explicit :class:`EngineSpec` to the executor instead.
+        """
+        from repro.baselines.cuda_blastp import CudaBlastp
+        from repro.baselines.fsa_blast import FsaBlast
+        from repro.baselines.gpu_blastp import GpuBlastp
+        from repro.baselines.ncbi_blast import NcbiBlast
+        from repro.core.pipeline import BlastpPipeline
+        from repro.cublastp.search import CuBlastp
+
+        if isinstance(engine, CuBlastp):
+            return cls(
+                "cublastp",
+                engine.params,
+                config=engine.config,
+                device=engine.device,
+            )
+        if isinstance(engine, NcbiBlast):  # before FsaBlast (subclass)
+            return cls("ncbi", engine.params, threads=engine.threads)
+        if isinstance(engine, FsaBlast):
+            return cls("fsa", engine.params)
+        if isinstance(engine, GpuBlastp):  # before CudaBlastp (subclass)
+            return cls("gpu-blastp", engine.params, device=engine.device)
+        if isinstance(engine, CudaBlastp):
+            return cls("cuda-blastp", engine.params, device=engine.device)
+        if isinstance(engine, BlastpPipeline):
+            return cls("reference", engine.params)
+        raise TypeError(
+            f"cannot derive a process-boundary spec for {type(engine).__name__}; "
+            "pass an explicit EngineSpec to BatchExecutor(spec=...)"
+        )
+
+
+# -- the database spill ----------------------------------------------------
+
+
+def database_path_for_workers(
+    db: "SequenceDatabase | str | Path", store: "DatabaseStore | None" = None
+) -> tuple[Path, Callable[[], None] | None]:
+    """A binary-format path workers can ``mmap``, spilling when needed.
+
+    A path to a saved binary database passes straight through. Anything
+    else — an in-memory database, a store-registered name, or a legacy
+    ``.npz`` archive — is resolved and written to a temporary ``.rpdb``
+    file. Returns ``(path, cleanup)``; call ``cleanup`` (when not
+    ``None``) after the workers are done with the file.
+    """
+    from repro.io import storage
+
+    if isinstance(db, (str, Path)):
+        path = Path(db)
+        if path.exists() and storage.sniff_format(path) == "binary":
+            return path, None
+        if store is None:
+            from repro.io.store import get_default_store
+
+            store = get_default_store()
+        db = store.resolve(db)
+    fd, name = tempfile.mkstemp(prefix="repro-batch-", suffix=".rpdb")
+    os.close(fd)
+    db.save(name)
+    return Path(name), lambda: os.unlink(name)
+
+
+# -- worker side -----------------------------------------------------------
+
+
+@dataclass
+class _QueryWorkerState:
+    engine: Engine
+    db: "SequenceDatabase"
+    events: Any
+
+
+@dataclass(frozen=True)
+class QueryTaskSpec:
+    """One-query-per-task work: the :class:`BatchExecutor` process backend.
+
+    ``setup`` builds the engine once and maps the database once;
+    ``run`` executes ``(query_id, sequence)`` tasks against them and
+    returns canonical-form payloads.
+    """
+
+    engine: EngineSpec
+    db_path: str
+    collect_events: bool = False
+    mmap: bool = True
+
+    def setup(self) -> _QueryWorkerState:
+        from repro.engine.events import EventLog
+        from repro.io.database import SequenceDatabase
+
+        events = EventLog() if self.collect_events else None
+        engine = self.engine.build(events=events)
+        db = SequenceDatabase.load(self.db_path, mmap=self.mmap)
+        return _QueryWorkerState(engine, db, events)
+
+    def run(self, state: _QueryWorkerState, task: tuple[str, str]) -> dict:
+        from repro.verify.canonical import result_to_payload
+
+        query_id, sequence = task
+        t0 = time.perf_counter()
+        compiled = state.engine.compile(sequence)
+        result = state.engine.run(compiled, state.db, query_id=query_id)
+        payload = {
+            "result": result_to_payload(result),
+            "engine": getattr(state.engine, "name", self.engine.name),
+            "wall_ms": (time.perf_counter() - t0) * 1e3,
+        }
+        if state.events is not None:
+            wall = state.events.wall_breakdown()
+            payload["events"] = [
+                (e.phase, e.work_items, e.modelled_ms, wall.get(e.phase))
+                for e in state.events.ends()
+            ]
+            state.events.clear()
+        return payload
+
+
+@dataclass(frozen=True)
+class ClusterNodeSpec:
+    """One-node-per-task work for :class:`~repro.cluster.multi_gpu.MultiGpuBlastp`.
+
+    Each worker maps the database, computes the node partitioning locally
+    (identical arithmetic to the head — partitioning is deterministic),
+    and runs the full cuBLASTP pipeline on the node's shard. Alignments
+    return id-remapped into the global database coordinate system.
+    """
+
+    query: str
+    params: "SearchParams"
+    config: "CuBlastpConfig"
+    device: Any
+    db_path: str
+    num_nodes: int
+    interleaved: bool = True
+
+    def setup(self):
+        from repro.cluster.partition import partition_database
+        from repro.cublastp.search import CuBlastp
+        from repro.io.database import SequenceDatabase
+
+        db = SequenceDatabase.load(self.db_path, mmap=True)
+        parts = partition_database(db, self.num_nodes, interleaved=self.interleaved)
+        searcher = CuBlastp(self.query, self.params, self.config, self.device)
+        return searcher, parts
+
+    def run(self, state, node: int) -> dict:
+        from repro.verify.canonical import alignments_to_payload
+
+        searcher, parts = state
+        part = parts[node]
+        result, report = searcher.search_with_report(part.db)
+        remapped = [
+            {**a, "seq_id": part.to_global(a["seq_id"])}
+            for a in alignments_to_payload(result.alignments)
+        ]
+        return {
+            "node": part.node,
+            "num_sequences": len(part.db),
+            "alignments": remapped,
+            "counts": {
+                "num_hits": int(report.gpu.num_hits),
+                "num_seeds": int(report.gpu.num_seeds),
+                "num_ungapped_extensions": len(report.gpu.extensions),
+                "num_gapped_extensions": len(report.cpu.gapped_extensions),
+            },
+            "elapsed_ms": float(report.overall_ms),
+            "breakdown": dict(report.breakdown),
+        }
+
+
+def _worker_main(spec, task_queue, result_queue, worker_id: int) -> None:
+    """Worker entry point: one setup, then a task loop until the sentinel."""
+    try:
+        state = spec.setup()
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        result_queue.put(("init_error", worker_id, _encode_error(exc)))
+        return
+    while True:
+        message = task_queue.get()
+        if message is None:
+            return
+        for index, item in message:
+            # Announce the task before touching it: on a crash the parent
+            # can tell truly-in-flight tasks (fail) from ones still queued
+            # behind the corpse (safe to requeue on a sibling).
+            result_queue.put(("begin", worker_id, (index, None)))
+            try:
+                payload = spec.run(state, item)
+                result_queue.put(("ok", worker_id, (index, payload)))
+            except BaseException as exc:  # noqa: BLE001 - per-task isolation
+                result_queue.put(("err", worker_id, (index, _encode_error(exc))))
+
+
+# -- parent side -----------------------------------------------------------
+
+
+@dataclass
+class _WorkerSlot:
+    slot: int
+    proc: Any = None
+    task_queue: Any = None
+    #: index -> True for every task dispatched to this worker and not yet
+    #: answered.
+    pending: dict = field(default_factory=dict)
+    #: indices the worker has announced it started executing; on a crash
+    #: exactly these fail — pending-but-unstarted tasks are requeued.
+    started: set = field(default_factory=set)
+    #: chunk ids currently assigned (bounds in-flight chunk dispatch).
+    chunks: set = field(default_factory=set)
+    respawns_left: int = 2
+    dead: bool = False
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap warm-up), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ProcessPool:
+    """Persistent warm workers executing a picklable task spec.
+
+    Parameters
+    ----------
+    spec:
+        Picklable object with ``setup() -> state`` (run once per worker)
+        and ``run(state, item) -> payload`` (run per task). Payloads must
+        be picklable builtins.
+    jobs:
+        Number of worker processes.
+    mp_context:
+        ``multiprocessing`` start method (defaults to
+        :func:`default_start_method`).
+    max_respawns:
+        Crash budget per worker slot; past it the slot stays dead (and if
+        every slot dies, remaining tasks fail with
+        :class:`WorkerCrashError` instead of hanging).
+    """
+
+    def __init__(
+        self,
+        spec: Any,
+        jobs: int,
+        *,
+        mp_context: str | None = None,
+        max_respawns: int = 2,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        self.spec = spec
+        self.jobs = jobs
+        self.ctx = multiprocessing.get_context(mp_context or default_start_method())
+        self.max_respawns = max_respawns
+        self._results = self.ctx.Queue()
+        self._slots = [
+            _WorkerSlot(slot=i, respawns_left=max_respawns) for i in range(jobs)
+        ]
+        #: chunk id -> set of task indices still outstanding from it.
+        self._chunk_members: dict[int, set[int]] = {}
+        #: task index -> chunk id (to release the chunk as tasks finish).
+        self._chunk_of: dict[int, int] = {}
+        #: task index -> original item, kept while in flight so a task
+        #: queued behind a crashed worker can be requeued on a sibling.
+        self._items: dict[int, Any] = {}
+        self._next_chunk_id = 0
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        slot.task_queue = self.ctx.Queue()
+        slot.proc = self.ctx.Process(
+            target=_worker_main,
+            args=(self.spec, slot.task_queue, self._results, slot.slot),
+            daemon=True,
+            name=f"repro-worker-{slot.slot}",
+        )
+        slot.proc.start()
+
+    def _handle_dead(self, slot: _WorkerSlot, buffered: dict) -> list[tuple[int, Any]]:
+        """Fail the dead worker's started tasks; return the rest for requeue."""
+        exitcode = slot.proc.exitcode if slot.proc is not None else None
+        requeue: list[tuple[int, Any]] = []
+        for index in list(slot.pending):
+            if index in slot.started:
+                buffered[index] = (
+                    None,
+                    WorkerCrashError(
+                        f"worker {slot.slot} died (exit code {exitcode}) with "
+                        f"query #{index} in flight"
+                    ),
+                )
+                self._items.pop(index, None)
+            else:
+                requeue.append((index, self._items[index]))
+            self._release(index)
+        slot.pending.clear()
+        slot.started.clear()
+        slot.chunks.clear()
+        return requeue
+
+    def _release(self, index: int) -> None:
+        """Drop a finished/failed task from its chunk's outstanding set."""
+        chunk_id = self._chunk_of.pop(index, None)
+        if chunk_id is None:
+            return
+        members = self._chunk_members.get(chunk_id)
+        if members is not None:
+            members.discard(index)
+            if not members:
+                del self._chunk_members[chunk_id]
+                for slot in self._slots:
+                    slot.chunks.discard(chunk_id)
+
+    def _reap_dead(self, buffered: dict) -> None:
+        for slot in self._slots:
+            if slot.dead or slot.proc is None or slot.proc.is_alive():
+                continue
+            requeue = self._handle_dead(slot, buffered)
+            if slot.respawns_left > 0:
+                slot.respawns_left -= 1
+                self._spawn(slot)
+            else:
+                slot.dead = True
+                slot.proc = None
+            self._redispatch(requeue, buffered)
+
+    def _alive_slots(self) -> list[_WorkerSlot]:
+        return [s for s in self._slots if not s.dead]
+
+    def _dispatch_chunk(self, slot: _WorkerSlot, chunk: list[tuple[int, Any]]) -> None:
+        chunk_id = self._next_chunk_id
+        self._next_chunk_id += 1
+        members = set()
+        for index, item in chunk:
+            slot.pending[index] = True
+            members.add(index)
+            self._chunk_of[index] = chunk_id
+            self._items[index] = item
+        self._chunk_members[chunk_id] = members
+        slot.chunks.add(chunk_id)
+        slot.task_queue.put(chunk)
+
+    def _redispatch(
+        self, requeue: list[tuple[int, Any]], buffered: dict
+    ) -> None:
+        """Requeue never-started tasks from a dead worker, or fail them."""
+        if not requeue:
+            return
+        live = self._alive_slots()
+        if not live:
+            for index, _ in requeue:
+                buffered[index] = (
+                    None,
+                    WorkerCrashError(
+                        f"no live workers left to requeue query #{index} "
+                        "(respawn budget spent)"
+                    ),
+                )
+                self._items.pop(index, None)
+            return
+        slot = min(live, key=lambda s: (len(s.chunks), len(s.pending)))
+        self._dispatch_chunk(slot, requeue)
+
+    # -- scheduling --------------------------------------------------------
+
+    @staticmethod
+    def _chunked(tasks: Iterable[Any], chunk_size: int) -> Iterator[list]:
+        chunk: list = []
+        for indexed in enumerate(tasks):
+            chunk.append(indexed)
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def run(
+        self,
+        tasks: Iterable[Any],
+        *,
+        chunk_size: int = 1,
+        max_in_flight_chunks: int | None = None,
+    ) -> Iterator[tuple[int, Any, Exception | None]]:
+        """Yield ``(index, payload, error)`` per task, in input order.
+
+        Tasks are consumed lazily, grouped into chunks of ``chunk_size``,
+        and dispatched to the least-loaded live worker; at most
+        ``max_in_flight_chunks`` (default ``2 * jobs``) chunks are
+        outstanding, so an unbounded task stream gets backpressure.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        cap = max_in_flight_chunks if max_in_flight_chunks is not None else 2 * self.jobs
+        if cap < self.jobs:
+            raise ValueError("max_in_flight_chunks must be >= jobs")
+        for slot in self._slots:
+            self._spawn(slot)
+        chunk_iter = self._chunked(tasks, chunk_size)
+        dispatched_all = False
+        dispatched = 0
+        buffered: dict[int, tuple[Any, Exception | None]] = {}
+        emit = 0
+        try:
+            while True:
+                # Top up: assign chunks while under the in-flight bound.
+                while not dispatched_all:
+                    live = self._alive_slots()
+                    if not live:
+                        # Every slot exhausted its respawn budget: fail
+                        # the rest of the stream instead of hanging.
+                        for chunk in chunk_iter:
+                            for index, _ in chunk:
+                                buffered[index] = (
+                                    None,
+                                    WorkerCrashError(
+                                        "no live workers left for query "
+                                        f"#{index} (respawn budget spent)"
+                                    ),
+                                )
+                                dispatched += 1
+                        dispatched_all = True
+                        break
+                    if len(self._chunk_members) >= cap:
+                        break
+                    chunk = next(chunk_iter, None)
+                    if chunk is None:
+                        dispatched_all = True
+                        break
+                    slot = min(live, key=lambda s: (len(s.chunks), len(s.pending)))
+                    self._dispatch_chunk(slot, chunk)
+                    dispatched += len(chunk)
+                while emit in buffered:
+                    payload, error = buffered.pop(emit)
+                    yield emit, payload, error
+                    emit += 1
+                if dispatched_all and emit >= dispatched:
+                    return
+                try:
+                    kind, worker_id, body = self._results.get(timeout=0.1)
+                except Empty:
+                    # The queue is drained, so every pre-death message of a
+                    # crashed worker has been seen — safe to reap now.
+                    self._reap_dead(buffered)
+                    continue
+                slot = self._slots[worker_id]
+                if kind == "init_error":
+                    # Setup failed: nothing assigned was started, so all of
+                    # it can requeue; the respawn budget decides whether
+                    # the slot itself gets another attempt.
+                    requeue = self._handle_dead(slot, buffered)
+                    if slot.proc is not None:
+                        slot.proc.join(timeout=5)
+                    if slot.respawns_left > 0:
+                        slot.respawns_left -= 1
+                        self._spawn(slot)
+                    else:
+                        slot.dead = True
+                        slot.proc = None
+                    self._redispatch(requeue, buffered)
+                    continue
+                index, payload = body
+                if kind == "begin":
+                    slot.started.add(index)
+                    continue
+                if kind == "ok":
+                    buffered[index] = (payload, None)
+                else:
+                    buffered[index] = (None, _decode_error(payload))
+                slot.pending.pop(index, None)
+                slot.started.discard(index)
+                self._items.pop(index, None)
+                self._release(index)
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop every worker (sentinel, join, then terminate stragglers)."""
+        for slot in self._slots:
+            if slot.proc is None:
+                continue
+            if slot.proc.is_alive():
+                try:
+                    slot.task_queue.put(None)
+                except (OSError, ValueError):  # queue already closed
+                    pass
+        for slot in self._slots:
+            if slot.proc is None:
+                continue
+            slot.proc.join(timeout=2)
+            if slot.proc.is_alive():
+                slot.proc.terminate()
+                slot.proc.join(timeout=2)
+            slot.proc = None
+        self._results.close()
+        self._results.join_thread()

@@ -81,6 +81,81 @@ def result_digest(result: "SearchResult") -> str:
     return hashlib.sha256(canonical_text(result).encode()).hexdigest()[:16]
 
 
+# -- process-boundary payloads ---------------------------------------------
+#
+# The process-pool executor ships results between worker and parent as
+# plain-builtin payloads instead of pickled result objects. Floats cross
+# as repr() strings — exactly as strict as the canonical tuple form, so
+# decode(encode(r)) has an identical canonical form and digest (the
+# conformance matrix's ``process`` variant proves it hit for hit).
+
+#: Alignment fields in payload order (the full dataclass, including
+#: ``subject_identifier``, which the canonical sort key omits).
+_ALIGNMENT_FIELDS = (
+    "seq_id", "subject_identifier", "score", "bit_score", "evalue",
+    "query_start", "query_end", "subject_start", "subject_end",
+    "aligned_query", "aligned_subject", "midline",
+    "identities", "positives", "gaps",
+)
+
+#: Scalar counters carried alongside the alignments.
+_RESULT_COUNTERS = (
+    "query_length", "db_sequences", "db_residues", "num_hits", "num_seeds",
+    "num_ungapped_extensions", "num_gapped_extensions", "num_reported",
+)
+
+
+def alignments_to_payload(alignments) -> list[dict]:
+    """Alignments as plain dicts (floats repr-encoded), order preserved."""
+    out = []
+    for a in alignments:
+        d = {name: getattr(a, name) for name in _ALIGNMENT_FIELDS}
+        d["bit_score"] = repr(a.bit_score)
+        d["evalue"] = repr(a.evalue)
+        out.append(d)
+    return out
+
+
+def alignments_from_payload(payload: list[dict]) -> list:
+    """Rebuild :class:`~repro.core.results.Alignment` objects exactly."""
+    from repro.core.results import Alignment
+
+    return [
+        Alignment(**{**d, "bit_score": float(d["bit_score"]), "evalue": float(d["evalue"])})
+        for d in payload
+    ]
+
+
+def result_to_payload(result: "SearchResult") -> dict:
+    """The result as picklable builtins, exactly reconstructible."""
+    return {
+        "canonical_version": CANONICAL_VERSION,
+        "counters": {name: getattr(result, name) for name in _RESULT_COUNTERS},
+        "alignments": alignments_to_payload(result.alignments),
+    }
+
+
+def result_from_payload(payload: dict) -> "SearchResult":
+    """Inverse of :func:`result_to_payload`.
+
+    ``result_from_payload(result_to_payload(r))`` equals ``r`` field for
+    field: repr-round-tripped floats are bit-exact, alignment order is
+    preserved, and :func:`result_digest` is unchanged.
+    """
+    from repro.core.results import SearchResult
+
+    version = payload.get("canonical_version")
+    if version != CANONICAL_VERSION:
+        raise ValueError(
+            f"result payload has canonical version {version!r}, "
+            f"this process expects {CANONICAL_VERSION} (mixed worker builds?)"
+        )
+    return SearchResult(
+        alignments=alignments_from_payload(payload["alignments"]),
+        **payload["counters"],
+    )
+
+
 def first_divergence(oracle: "SearchResult", other: "SearchResult") -> str | None:
     """Describe the first point where ``other`` departs from ``oracle``.
 

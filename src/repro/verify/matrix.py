@@ -17,6 +17,11 @@ and database reach it:
     The query goes through a threaded
     :class:`~repro.engine.executor.BatchExecutor` (jobs=2, duplicated
     query) — scheduling must not perturb output.
+``process``
+    The same duplicated-query batch through the *process* backend: the
+    database crosses to warm workers via a spilled binary file, results
+    come back as canonical-form payloads — the whole
+    :mod:`~repro.engine.procpool` marshalling story must be lossless.
 
 :func:`default_matrix` is the full implementation-under-test list; the
 ``reference`` pipeline (:data:`ORACLE_NAME`) is the oracle it is checked
@@ -45,7 +50,7 @@ if TYPE_CHECKING:
 ORACLE_NAME = "reference"
 
 #: Execution paths a variant may route through.
-PATHS = ("direct", "view", "mmap", "batch")
+PATHS = ("direct", "view", "mmap", "batch", "process")
 
 
 @dataclass(frozen=True)
@@ -72,8 +77,9 @@ class EngineVariant:
                 case.db.save(path)
                 db = SequenceDatabase.load(path, mmap=True)
                 return engine.run(engine.compile(case.query), db)
-        if self.path == "batch":
-            return _run_batched(engine, case.query_id, case.query, case.db)
+        if self.path in ("batch", "process"):
+            backend = "thread" if self.path == "batch" else "process"
+            return _run_batched(engine, case.query_id, case.query, case.db, backend)
         if self.path == "view":
             db: "SequenceDatabase" = case.db.view(0, len(case.db))
         elif self.path == "direct":
@@ -84,14 +90,18 @@ class EngineVariant:
 
 
 def _run_batched(
-    engine: Engine, query_id: str, query: str, db: "SequenceDatabase"
+    engine: Engine,
+    query_id: str,
+    query: str,
+    db: "SequenceDatabase",
+    backend: str = "thread",
 ) -> "SearchResult":
-    """Run the query twice through a threaded executor; both copies must
-    agree with each other (a scheduling-sensitivity check local to this
-    path) and the first is returned for the oracle comparison."""
+    """Run the query twice through an executor; both copies must agree
+    with each other (a scheduling-sensitivity check local to this path)
+    and the first is returned for the oracle comparison."""
     from repro.verify.canonical import results_equal
 
-    executor = BatchExecutor(engine, jobs=2, collect_reports=False)
+    executor = BatchExecutor(engine, jobs=2, backend=backend, collect_reports=False)
     outcomes = list(
         executor.stream([(query_id, query), (f"{query_id}+dup", query)], db)
     )
@@ -107,7 +117,7 @@ def _run_batched(
 
 
 #: The full matrix: all engines, all three cuBLASTP strategies, and the
-#: view/mmap/batch execution paths on representative engines.
+#: view/mmap/batch/process execution paths on representative engines.
 DEFAULT_VARIANTS: tuple[EngineVariant, ...] = (
     EngineVariant("cublastp-diagonal", "cublastp:diagonal"),
     EngineVariant("cublastp-hit", "cublastp:hit"),
@@ -120,6 +130,7 @@ DEFAULT_VARIANTS: tuple[EngineVariant, ...] = (
     EngineVariant("reference-mmap", "reference", path="mmap"),
     EngineVariant("cublastp-view", "cublastp", path="view"),
     EngineVariant("cublastp-batch", "cublastp", path="batch"),
+    EngineVariant("cublastp-process", "cublastp", path="process"),
 )
 
 #: Variant names accepted by ``repro verify --engines``.

@@ -95,6 +95,25 @@ class TestHitDetectionKernel:
         with pytest.raises(GpuSimError, match="bin overflow"):
             run_hit_detection(sess)
 
+    def test_relaunch_sweep_reuses_buffers(self, session_factory):
+        """Re-launching within one session must not grow the heap.
+
+        The working buffers (``bins`` / ``bin_tops``) used to get a fresh
+        ``name.N`` allocation per launch; a 10-relaunch sweep now reuses
+        the first launch's allocations (identical output, stable buffer
+        count, no simulated-memory growth).
+        """
+        sess = session_factory()
+        first, _ = run_hit_detection(sess)
+        buffer_count = len(sess.ctx.memory.buffers)
+        used_bytes = sess.ctx.memory.used_bytes
+        for _ in range(10):
+            binned, _ = run_hit_detection(sess)
+            assert len(sess.ctx.memory.buffers) == buffer_count
+            assert sess.ctx.memory.used_bytes == used_bytes
+            np.testing.assert_array_equal(binned.packed, first.packed)
+            np.testing.assert_array_equal(binned.segment_offsets, first.segment_offsets)
+
 
 class TestSortFilter:
     def test_segments_sorted(self, gpu_stages):

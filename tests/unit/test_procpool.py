@@ -1,0 +1,242 @@
+"""Unit tests for the process-pool backend.
+
+Two layers under test:
+
+* :class:`~repro.engine.procpool.ProcessPool` on synthetic task specs —
+  crash isolation, respawn, requeue, dead-pool fail-fast (cheap specs, no
+  search work);
+* :class:`~repro.engine.executor.BatchExecutor` with
+  ``backend="process"`` on real searches — inline equivalence, the
+  temp-file spill path, per-query error isolation, and a worker killed
+  mid-batch.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import (
+    BatchExecutor,
+    EngineSpec,
+    EventLog,
+    ProcessPool,
+    RemoteTaskError,
+    WorkerCrashError,
+    database_path_for_workers,
+    make_engine,
+)
+from repro.io import generate_query
+from repro.io.database import SequenceDatabase
+from repro.verify.canonical import result_digest
+
+
+class EchoSpec:
+    """Upper-cases strings; 'die' hard-kills the worker, 'raise' raises."""
+
+    def setup(self):
+        return {}
+
+    def run(self, state, item):
+        if item == "die":
+            time.sleep(0.1)  # let the begin announcement flush
+            os._exit(37)
+        if item == "raise":
+            raise ValueError(f"boom: {item}")
+        return item.upper()
+
+
+class BadSetupSpec:
+    def setup(self):
+        raise RuntimeError("no database here")
+
+    def run(self, state, item):
+        return item
+
+
+class TestProcessPool:
+    def test_results_in_input_order(self):
+        pool = ProcessPool(EchoSpec(), jobs=2)
+        out = list(pool.run(iter(["a", "b", "c", "d", "e"])))
+        assert [i for i, _, _ in out] == [0, 1, 2, 3, 4]
+        assert [p for _, p, _ in out] == ["A", "B", "C", "D", "E"]
+
+    def test_remote_exception_is_typed_and_isolated(self):
+        pool = ProcessPool(EchoSpec(), jobs=2)
+        out = list(pool.run(iter(["a", "raise", "b"])))
+        assert out[0][1] == "A" and out[2][1] == "B"
+        err = out[1][2]
+        assert isinstance(err, RemoteTaskError)
+        assert err.exc_type == "ValueError"
+        assert "boom" in str(err)
+
+    def test_worker_crash_fails_only_inflight_task(self):
+        """A dying worker fails its in-flight task; everything else —
+        including tasks queued behind the corpse — still completes."""
+        tasks = ["a", "die", "b", "raise", "c", "d", "e", "f"]
+        pool = ProcessPool(EchoSpec(), jobs=2)
+        out = list(pool.run(iter(tasks)))
+        assert [i for i, _, _ in out] == list(range(len(tasks)))
+        for index, payload, error in out:
+            task = tasks[index]
+            if task == "die":
+                assert isinstance(error, WorkerCrashError)
+            elif task == "raise":
+                assert isinstance(error, RemoteTaskError)
+            else:
+                assert error is None and payload == task.upper()
+
+    def test_single_worker_respawns_after_crash(self):
+        pool = ProcessPool(EchoSpec(), jobs=1)
+        out = list(pool.run(iter(["x", "die", "y"])))
+        assert out[0][1] == "X"
+        assert isinstance(out[1][2], WorkerCrashError)
+        assert out[2][1] == "Y"  # the respawned worker finished the batch
+
+    def test_dead_pool_fails_fast(self):
+        """Setup that always fails must exhaust the respawn budget and
+        fail the stream, not hang."""
+        pool = ProcessPool(BadSetupSpec(), jobs=2, max_respawns=1)
+        t0 = time.time()
+        out = list(pool.run(iter(["a", "b", "c", "d"])))
+        assert time.time() - t0 < 30
+        assert len(out) == 4
+        assert all(
+            isinstance(e, (WorkerCrashError, RemoteTaskError)) for _, _, e in out
+        )
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ProcessPool(EchoSpec(), jobs=0)
+        pool = ProcessPool(EchoSpec(), jobs=1)
+        with pytest.raises(ValueError):
+            list(pool.run(iter([]), chunk_size=0))
+        pool.shutdown()
+
+
+@pytest.fixture(scope="module")
+def proc_queries(tiny_spec):
+    return [
+        (f"q{i}", generate_query(100 + 30 * i, tiny_spec, query_seed=i))
+        for i in range(4)
+    ]
+
+
+class TestDatabaseSpill:
+    def test_in_memory_database_spills_to_binary(self, tiny_db):
+        path, cleanup = database_path_for_workers(tiny_db)
+        assert cleanup is not None
+        try:
+            assert path.suffix == ".rpdb" and path.exists()
+            loaded = SequenceDatabase.load(path, mmap=True)
+            assert len(loaded) == len(tiny_db)
+            assert loaded.sequence_str(0) == tiny_db.sequence_str(0)
+        finally:
+            cleanup()
+        assert not path.exists()
+
+    def test_saved_binary_path_passes_through(self, tiny_db, tmp_path):
+        saved = tmp_path / "db.rpdb"
+        tiny_db.save(saved)
+        path, cleanup = database_path_for_workers(saved)
+        assert path == saved
+        assert cleanup is None
+
+
+class TestProcessBackendExecutor:
+    def test_jobs1_matches_inline_execution(self, proc_queries, tiny_db, tiny_params):
+        """backend='process', jobs=1 must reproduce the inline thread
+        backend digest for digest — the marshalling is lossless."""
+        engine = make_engine("reference", tiny_params)
+        inline = BatchExecutor(engine, jobs=1).run(proc_queries, tiny_db)
+        proc = BatchExecutor(engine, jobs=1, backend="process").run(
+            proc_queries, tiny_db
+        )
+        assert [r.query_id for r in proc.records] == [
+            r.query_id for r in inline.records
+        ]
+        for a, b in zip(inline.records, proc.records):
+            assert a.ok and b.ok
+            assert result_digest(a.result) == result_digest(b.result)
+
+    def test_jobs2_order_and_digests(self, proc_queries, tiny_db, tiny_params):
+        engine = make_engine("reference", tiny_params)
+        inline = BatchExecutor(engine, jobs=1).run(proc_queries, tiny_db)
+        proc = BatchExecutor(engine, jobs=2, backend="process").run(
+            proc_queries, tiny_db
+        )
+        assert [r.index for r in proc.records] == [0, 1, 2, 3]
+        for a, b in zip(inline.records, proc.records):
+            assert result_digest(a.result) == result_digest(b.result)
+
+    def test_query_error_is_isolated(self, proc_queries, tiny_db, tiny_params):
+        engine = make_engine("reference", tiny_params)
+        queries = list(proc_queries)
+        queries.insert(2, ("bad", ""))  # shorter than the word length
+        batch = BatchExecutor(engine, jobs=2, backend="process").run(
+            queries, tiny_db
+        )
+        assert len(batch.errors) == 1
+        assert batch.errors[0][0] == "bad"
+        assert isinstance(batch.errors[0][1], RemoteTaskError)
+        assert len(batch.results) == len(proc_queries)
+
+    def test_events_cross_the_boundary(self, proc_queries, tiny_db, tiny_params):
+        events = EventLog()
+        engine = make_engine("reference", tiny_params)
+        BatchExecutor(engine, jobs=1, backend="process", events=events).run(
+            proc_queries[:2], tiny_db
+        )
+        wall = events.wall_breakdown()
+        assert "hit_detection" in wall and wall["hit_detection"] > 0
+        # Per-query attribution survives the re-emission.
+        assert events.wall_breakdown(query_id="q0")
+
+    def test_worker_crash_mid_batch_preserves_siblings(
+        self, tiny_db, tiny_params, monkeypatch
+    ):
+        """A query that hard-kills its worker is reported as a crash;
+        every other query in the batch still succeeds, in input order."""
+        import repro.engine.procpool as procpool
+
+        orig_run = procpool.QueryTaskSpec.run
+
+        def sabotaged(self, state, task):
+            if task[0] == "kill":
+                time.sleep(0.05)
+                os._exit(41)
+            return orig_run(self, state, task)
+
+        monkeypatch.setattr(procpool.QueryTaskSpec, "run", sabotaged)
+        seq = "ACDEFGHIKLMNPQRSTVWY" * 5
+        queries = [("q0", seq), ("kill", seq), ("q2", seq), ("q3", seq)]
+        engine = make_engine("reference", tiny_params)
+        batch = BatchExecutor(engine, jobs=2, backend="process").run(
+            queries, tiny_db
+        )
+        assert [r.query_id for r in batch.records] == ["q0", "kill", "q2", "q3"]
+        crash = batch.records[1]
+        assert isinstance(crash.error, WorkerCrashError)
+        others = [batch.records[0], batch.records[2], batch.records[3]]
+        assert all(r.ok for r in others)
+        # Identical queries must produce identical results regardless of
+        # which worker (original or respawned) ran them.
+        digests = {result_digest(r.result) for r in others}
+        assert len(digests) == 1
+
+
+class TestEngineSpec:
+    def test_from_engine_round_trip(self, tiny_params):
+        for name in ("reference", "fsa", "ncbi", "cublastp"):
+            engine = make_engine(name, tiny_params)
+            spec = EngineSpec.from_engine(engine)
+            assert spec.name == name
+            rebuilt = spec.build()
+            assert type(rebuilt) is type(engine)
+
+    def test_hand_rolled_engine_is_rejected(self):
+        class NotAnEngine:
+            pass
+
+        with pytest.raises(TypeError):
+            EngineSpec.from_engine(NotAnEngine())
