@@ -1,0 +1,39 @@
+"""The shipped rule catalogue (see docs/ANALYSIS.md for rationale)."""
+
+from __future__ import annotations
+
+from repro.analysis.base import Rule
+from repro.analysis.rules.api import PublicApiAllRule
+from repro.analysis.rules.events import EventPairingRule
+from repro.analysis.rules.excepts import BareExceptRule
+from repro.analysis.rules.floats import FloatEqualityRule
+from repro.analysis.rules.picklable import PicklableSpecRule
+from repro.analysis.rules.rng import UnseededRngRule
+from repro.analysis.rules.shared_alloc import SharedAllocRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+#: Every shipped rule, in catalogue order.
+ALL_RULES: tuple[Rule, ...] = (
+    UnseededRngRule(),
+    FloatEqualityRule(),
+    WallClockRule(),
+    PicklableSpecRule(),
+    SharedAllocRule(),
+    EventPairingRule(),
+    BareExceptRule(),
+    PublicApiAllRule(),
+)
+
+RULE_NAMES: tuple[str, ...] = tuple(r.name for r in ALL_RULES)
+
+
+def rule_by_name(name: str) -> Rule:
+    for rule in ALL_RULES:
+        if rule.name == name:
+            return rule
+    raise KeyError(
+        f"unknown rule {name!r} (choose from {', '.join(RULE_NAMES)})"
+    )
+
+
+__all__ = ["ALL_RULES", "RULE_NAMES", "rule_by_name"]

@@ -1,0 +1,104 @@
+"""public-api-all: ``__all__`` names exist, exactly once.
+
+Every package façade in this tree re-exports through ``__all__``; a
+stale entry (renamed symbol, removed class) turns ``from repro.x import
+*`` and every doc tool into a runtime error that unit tests of the
+package itself never hit. The rule resolves module-level bindings
+(defs, classes, assignments, imports) and flags ``__all__`` entries that
+resolve to nothing, duplicates, and non-literal elements it cannot
+verify. Modules using ``import *`` are skipped — their namespace is not
+statically known.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleSource
+
+
+def _module_bindings(tree: ast.Module) -> tuple[set[str], bool]:
+    """Names bound at module level; second element is True when a
+    star-import makes the namespace statically unknowable."""
+    names: set[str] = set()
+    has_star = False
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    has_star = True
+                else:
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING blocks and optional-import guards bind too.
+            sub_names, sub_star = _module_bindings(
+                ast.Module(body=list(ast.iter_child_nodes(node)), type_ignores=[])
+            )
+            names |= sub_names
+            has_star |= sub_star
+    return names, has_star
+
+
+class PublicApiAllRule:
+    name = "public-api-all"
+    description = "__all__ entries must be bound module names, no duplicates"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        all_node: ast.expr | None = None
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in node.targets
+                )
+            ):
+                all_node = node.value
+        if all_node is None:
+            return []
+        if not isinstance(all_node, (ast.List, ast.Tuple)):
+            return []  # computed __all__: out of scope
+        bindings, has_star = _module_bindings(module.tree)
+        if has_star:
+            return []
+        out: list[Finding] = []
+        seen: set[str] = set()
+        for element in all_node.elts:
+            if not (
+                isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ):
+                out.append(
+                    module.finding(
+                        self.name, element, "__all__ entry is not a string literal"
+                    )
+                )
+                continue
+            name = element.value
+            if name in seen:
+                out.append(
+                    module.finding(
+                        self.name, element, f"duplicate __all__ entry {name!r}"
+                    )
+                )
+            seen.add(name)
+            if name not in bindings:
+                out.append(
+                    module.finding(
+                        self.name,
+                        element,
+                        f"__all__ names {name!r} but the module never binds it",
+                    )
+                )
+        return out

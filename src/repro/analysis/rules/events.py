@@ -1,0 +1,81 @@
+"""event-begin-end-pairing: phase events open and close together.
+
+Every consumer of the :class:`~repro.engine.events.EventLog` — the
+profile CLI, ``wall_breakdown``, the throughput benchmark — pairs
+``"start"``/``"end"`` events per phase; an unpaired emission leaks an
+open phase that silently drops wall-time attribution. The safe idiom is
+the ``events.phase(...)`` context manager; code that calls ``emit``
+directly must emit both kinds for the same phase within one function.
+
+Cross-process *re-emission* (a parent log replaying end events a worker
+already timed, as the batch executor does) is the sanctioned exception —
+suppress it explicitly with ``# reprolint: disable=event-begin-end-pairing``
+so reviewers see the claim.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleSource
+
+
+def _emit_kind_phase(node: ast.Call) -> tuple[str | None, str | None] | None:
+    """``(phase, kind)`` of an ``<recv>.emit(engine, phase, kind, ...)``
+    call; None when the call is not an emit. Non-literal values map to
+    None entries."""
+    if not (isinstance(node.func, ast.Attribute) and node.func.attr == "emit"):
+        return None
+    phase: str | None = None
+    kind: str | None = None
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        if isinstance(node.args[1].value, str):
+            phase = node.args[1].value
+    if len(node.args) >= 3 and isinstance(node.args[2], ast.Constant):
+        if isinstance(node.args[2].value, str):
+            kind = node.args[2].value
+    for kw in node.keywords:
+        if kw.arg == "phase" and isinstance(kw.value, ast.Constant):
+            phase = kw.value.value if isinstance(kw.value.value, str) else None
+        if kw.arg == "kind" and isinstance(kw.value, ast.Constant):
+            kind = kw.value.value if isinstance(kw.value.value, str) else None
+    return phase, kind
+
+
+class EventPairingRule:
+    name = "event-begin-end-pairing"
+    description = "direct emit() calls must pair start/end per phase"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # (phase or None) -> kinds emitted, with a representative node.
+            seen: dict[str | None, dict[str, ast.Call]] = {}
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                info = _emit_kind_phase(sub)
+                if info is None:
+                    continue
+                phase, kind = info
+                if kind in ("start", "end"):
+                    seen.setdefault(phase, {})[kind] = sub
+            for phase, kinds in seen.items():
+                if "start" in kinds and "end" in kinds:
+                    continue
+                have = next(iter(kinds))
+                want = "end" if have == "start" else "start"
+                at = kinds[have]
+                label = f"phase {phase!r}" if phase is not None else "a dynamic phase"
+                out.append(
+                    module.finding(
+                        self.name,
+                        at,
+                        f"emit({label}, {have!r}) without a matching {want!r} "
+                        "in this function; use events.phase(...) or emit both",
+                    )
+                )
+        return out

@@ -1,0 +1,58 @@
+"""no-bare-except-in-executor-paths: error isolation must not eat crashes.
+
+The batch executor and process pool deliberately catch ``Exception`` per
+query so one failure cannot abort a batch — that isolation is load
+bearing and tested. A *bare* ``except:`` (or ``except BaseException:``
+that doesn't re-raise) is the corrupted version of the same idiom: it
+additionally swallows ``KeyboardInterrupt`` / ``SystemExit``, turning a
+Ctrl-C during a 10k-query batch into a silent hang-then-requeue. Banned
+tree-wide; the executor paths are where the temptation lives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleSource
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for sub in ast.walk(handler):
+        if isinstance(sub, ast.Raise):
+            return True
+    return False
+
+
+class BareExceptRule:
+    name = "no-bare-except"
+    description = "no bare except / BaseException swallowing"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                out.append(
+                    module.finding(
+                        self.name,
+                        node,
+                        "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                        "catch Exception (isolation) or the specific error",
+                    )
+                )
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id == "BaseException"
+                and not _reraises(node)
+            ):
+                out.append(
+                    module.finding(
+                        self.name,
+                        node,
+                        "'except BaseException:' without re-raise swallows "
+                        "interpreter shutdown; catch Exception instead",
+                    )
+                )
+        return out

@@ -1,0 +1,98 @@
+"""no-float-equality-on-scores: scores and E-values never compare with ==.
+
+Alignment scores, bit scores, and E-values travel through log-space
+arithmetic (Karlin-Altschul statistics), so two mathematically equal
+pipelines can produce values differing in the last ulp. Exact equality
+on such quantities is a latent flaky test / divergence bug; the
+canonical comparison layer (:mod:`repro.verify.canonical`) exists
+precisely to compare them ``repr``-exactly instead.
+
+Flagged:
+
+* ``==`` / ``!=`` with a fractional float literal operand (``x == 0.5``,
+  ``e == 1e-3``) — whole-number literals like ``1.0`` pass, as equality
+  against an assigned sentinel is exact;
+* ``==`` / ``!=`` where an operand's source names a statistical quantity
+  (``evalue``, ``e_value``, ``bit_score``, ``pvalue``) — these are float
+  valued by construction, whatever they compare against.
+
+``math.isclose``/``np.isclose``, ordering comparisons, and the canonical
+repr comparison are the sanctioned alternatives; ``== pytest.approx(...)``
+is exempt (approx's ``__eq__`` *is* a tolerance comparison).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleSource
+
+_SCOREY_NAMES = ("evalue", "e_value", "bit_score", "pvalue", "p_value")
+
+
+def _is_fractional_float(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != int(node.value)
+    )
+
+
+def _is_tolerance_comparator(node: ast.expr) -> bool:
+    # ``x == pytest.approx(y)`` IS the sanctioned tolerance comparison:
+    # approx objects implement __eq__ with a relative tolerance.
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    attr = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return attr in ("approx", "isclose", "allclose")
+
+
+def _names_statistic(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id.lower() in _SCOREY_NAMES:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr.lower() in _SCOREY_NAMES:
+            return True
+    return False
+
+
+class FloatEqualityRule:
+    name = "no-float-equality-on-scores"
+    description = "no ==/!= on float score/E-value quantities"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_tolerance_comparator(left) or _is_tolerance_comparator(right):
+                    continue
+                if _is_fractional_float(left) or _is_fractional_float(right):
+                    out.append(
+                        module.finding(
+                            self.name,
+                            node,
+                            "exact equality against a fractional float literal; "
+                            "compare with a tolerance or canonical repr",
+                        )
+                    )
+                elif _names_statistic(left) or _names_statistic(right):
+                    out.append(
+                        module.finding(
+                            self.name,
+                            node,
+                            "exact equality on a float statistic (E-value/bit "
+                            "score); compare with a tolerance or canonical repr",
+                        )
+                    )
+        return out

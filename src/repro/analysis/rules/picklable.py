@@ -1,0 +1,79 @@
+"""picklable-spec-fields: worker task specs must cross process boundaries.
+
+:class:`~repro.engine.procpool.EngineSpec` and the worker task specs are
+the *only* objects pickled to process-pool workers; a lambda or nested
+function smuggled into a spec field fails at dispatch time with an
+opaque ``PicklingError`` — on the first multiprocess run, which is
+usually CI, not the author's laptop. The rule rejects, for every class
+whose name ends in ``Spec``:
+
+* lambda (or locally nested function) field defaults, including inside
+  ``field(default=...)`` / ``field(default_factory=lambda: ...)``
+  (``default_factory=list`` is fine — module-level callables pickle by
+  reference);
+* lambda arguments at ``SomethingSpec(...)`` construction sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleSource, dotted_name
+
+
+def _lambda_in(node: ast.expr) -> ast.Lambda | None:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Lambda):
+            return sub
+    return None
+
+
+class PicklableSpecRule:
+    name = "picklable-spec-fields"
+    description = "no lambdas/closures in *Spec fields or constructor args"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name.endswith("Spec"):
+                out.extend(self._check_spec_class(module, node))
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name.split(".")[-1].endswith("Spec"):
+                    out.extend(self._check_construction(module, node, name))
+        return out
+
+    def _check_spec_class(
+        self, module: ModuleSource, node: ast.ClassDef
+    ) -> Iterable[Finding]:
+        for stmt in node.body:
+            default: ast.expr | None = None
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                default = stmt.value
+            elif isinstance(stmt, ast.Assign):
+                default = stmt.value
+            if default is None:
+                continue
+            bad = _lambda_in(default)
+            if bad is not None:
+                yield module.finding(
+                    self.name,
+                    bad,
+                    f"lambda in a field default of spec class {node.name!r} "
+                    "will not pickle to pool workers; use a module-level "
+                    "callable",
+                )
+
+    def _check_construction(
+        self, module: ModuleSource, node: ast.Call, name: str
+    ) -> Iterable[Finding]:
+        for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            bad = _lambda_in(arg)
+            if bad is not None:
+                yield module.finding(
+                    self.name,
+                    bad,
+                    f"lambda passed to {name}(...) will not pickle to pool "
+                    "workers; use a module-level callable",
+                )

@@ -1,0 +1,141 @@
+"""no-unseeded-rng: every random draw must flow from an explicit seed.
+
+Conformance failures replay from a recorded ``(family, seed)`` pair —
+which only holds if no randomness anywhere in the tree comes from OS
+entropy or hidden global state. Three AST patterns are outlawed:
+
+* ``default_rng()`` called with no arguments (entropy-seeded);
+* the legacy numpy global-state API — any call on ``np.random`` /
+  ``numpy.random`` other than constructing an explicit generator
+  (``default_rng(seed)``, ``Generator``, ``SeedSequence``, bit
+  generators);
+* the stdlib ``random`` module's global functions (both ``import
+  random`` call sites and ``from random import shuffle``-style imports).
+
+This replaces the PR 3 grep audit: operating on the AST, it cannot be
+fooled by comments, strings, or line-wrapped calls, and it resolves
+``import numpy.random as nr``-style aliases instead of pattern-matching
+text.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.base import Finding, ModuleSource, dotted_name
+
+#: np.random attributes that construct explicitly seeded machinery.
+_ALLOWED_NP_RANDOM = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState"}
+)
+
+#: Stdlib ``random`` global functions whose module-level use is unseeded.
+_STDLIB_RANDOM_FNS = frozenset(
+    {"random", "randint", "randrange", "choice", "choices", "shuffle",
+     "sample", "uniform", "gauss", "seed", "getrandbits", "betavariate",
+     "expovariate", "normalvariate", "triangular"}
+)
+
+
+class UnseededRngRule:
+    name = "no-unseeded-rng"
+    description = "all randomness must be constructed from an explicit seed"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        np_random_aliases, stdlib_aliases, findings = self._collect_imports(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            findings.extend(
+                self._check_call(module, node, np_random_aliases, stdlib_aliases)
+            )
+        return findings
+
+    def _collect_imports(
+        self, module: ModuleSource
+    ) -> tuple[set[str], set[str], list[Finding]]:
+        """Names bound to ``numpy.random`` / stdlib ``random`` in this file."""
+        np_random: set[str] = set()
+        stdlib: set[str] = set()
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy.random":
+                        np_random.add(alias.asname or "numpy")
+                        if alias.asname:
+                            np_random.add(alias.asname)
+                    elif alias.name == "random":
+                        stdlib.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random.add(alias.asname or "random")
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name in _STDLIB_RANDOM_FNS:
+                            findings.append(
+                                module.finding(
+                                    self.name,
+                                    node,
+                                    f"'from random import {alias.name}' pulls an "
+                                    "unseeded global; use np.random.default_rng(seed)",
+                                )
+                            )
+        return np_random, stdlib, findings
+
+    def _check_call(
+        self,
+        module: ModuleSource,
+        node: ast.Call,
+        np_random_aliases: set[str],
+        stdlib_aliases: set[str],
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        # Entropy-seeded generator: any default_rng() with no arguments.
+        if parts[-1] == "default_rng" and not node.args and not node.keywords:
+            yield module.finding(
+                self.name,
+                node,
+                "default_rng() without a seed draws from OS entropy — "
+                "thread an explicit seed through",
+            )
+            return
+        # Legacy numpy global-state API: np.random.<fn>(...).
+        if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
+            if parts[-1] not in _ALLOWED_NP_RANDOM:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"legacy global-state call np.random.{parts[-1]}() cannot "
+                    "be pinned per-case; use np.random.default_rng(seed)",
+                )
+            return
+        # import numpy.random as nr; nr.rand(...)
+        if len(parts) == 2 and parts[0] in np_random_aliases and parts[0] != "numpy":
+            if parts[-1] not in _ALLOWED_NP_RANDOM:
+                yield module.finding(
+                    self.name,
+                    node,
+                    f"legacy global-state call {name}() cannot be pinned "
+                    "per-case; use np.random.default_rng(seed)",
+                )
+            return
+        # Stdlib random module globals (only when this file imports random).
+        if (
+            len(parts) == 2
+            and parts[0] in stdlib_aliases
+            and parts[1] in _STDLIB_RANDOM_FNS
+        ):
+            yield module.finding(
+                self.name,
+                node,
+                f"stdlib {name}() uses the hidden global stream; use a "
+                "seeded np.random.default_rng",
+            )

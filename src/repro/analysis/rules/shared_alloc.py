@@ -1,0 +1,75 @@
+"""shared-alloc-in-setup-only: shared memory is reserved at block setup.
+
+The launcher measures a block's shared footprint by dry-running
+``setup_block`` once and derives occupancy — the Fig. 14 mechanism —
+from that measurement. A ``SharedMemory.alloc`` reached from
+``run_warp`` allocates *after* occupancy is computed: the kernel pays
+for less shared memory than it uses, silently corrupting every derived
+number. The rule flags ``alloc``/``alloc_from`` calls on a
+shared-memory receiver (a parameter annotated ``SharedMemory``, or the
+conventional name ``shared``) in any function not named ``setup_block``
+or ``setup_*`` (block-setup helpers like
+:func:`~repro.cublastp.ext_common.setup_matrix_shared` stay legal).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleSource, dotted_name
+
+_ALLOC_METHODS = frozenset({"alloc", "alloc_from"})
+
+
+def _shared_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter names annotated ``SharedMemory`` (plus the conventional
+    name ``shared`` regardless of annotation)."""
+    names: set[str] = set()
+    for arg in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]:
+        if arg.arg == "shared":
+            names.add(arg.arg)
+        elif arg.annotation is not None:
+            ann = dotted_name(arg.annotation)
+            if ann is not None and ann.split(".")[-1] == "SharedMemory":
+                names.add(arg.arg)
+    return names
+
+
+class SharedAllocRule:
+    name = "shared-alloc-in-setup-only"
+    description = "SharedMemory.alloc only in setup_block / setup_* helpers"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "setup_block" or node.name.startswith("setup"):
+                continue
+            shared = _shared_params(node)
+            for sub in ast.walk(node):
+                if not (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _ALLOC_METHODS
+                ):
+                    continue
+                recv = sub.func.value
+                is_shared = (
+                    isinstance(recv, ast.Name) and recv.id in shared
+                ) or (
+                    # warp.shared.alloc(...) / self.shared.alloc(...)
+                    isinstance(recv, ast.Attribute) and recv.attr == "shared"
+                )
+                if is_shared:
+                    out.append(
+                        module.finding(
+                            self.name,
+                            sub,
+                            f"shared.{sub.func.attr}() outside block setup: "
+                            "occupancy is computed from setup_block's "
+                            "footprint, so late allocations are unpaid-for",
+                        )
+                    )
+        return out

@@ -1,0 +1,67 @@
+"""no-wall-clock-in-kernels: simulated kernels must be time-deterministic.
+
+The gpusim cost model derives every reported millisecond from counted
+cycles; a kernel that reads the host's wall clock (``time.time()``,
+``perf_counter``, ``datetime.now``) smuggles nondeterminism into numbers
+the conformance corpus pins exactly. The rule walks every class whose
+bases name ``Kernel`` and flags wall-clock calls anywhere in its body —
+host-side drivers and the :class:`~repro.engine.events.EventLog` (which
+deliberately stamps real time) are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleSource, dotted_name
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.clock_gettime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+
+def _is_kernel_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None and name.split(".")[-1] == "Kernel":
+            return True
+    return False
+
+
+class WallClockRule:
+    name = "no-wall-clock-in-kernels"
+    description = "Kernel subclasses must not read the host wall clock"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.ClassDef) and _is_kernel_class(node)):
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                name = dotted_name(sub.func)
+                if name in _CLOCK_CALLS:
+                    out.append(
+                        module.finding(
+                            self.name,
+                            sub,
+                            f"{name}() inside kernel {node.name!r}: modelled "
+                            "times must come from counted cycles, not the "
+                            "host clock",
+                        )
+                    )
+        return out

@@ -20,6 +20,10 @@ Commands
     Differential conformance: generate seeded workloads and check every
     engine and execution path against the reference oracle, hit for hit
     (see :mod:`repro.verify` and docs/TESTING.md).
+``lint``
+    Static analysis: run the reprolint AST rules that encode this
+    repo's determinism and simulator invariants (see
+    :mod:`repro.analysis` and docs/ANALYSIS.md).
 
 Database arguments everywhere accept either a FASTA file or a saved
 binary database; binary paths open through the process-wide
@@ -303,9 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_search_args(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
+    from repro.analysis.cli import add_lint_parser
     from repro.verify.cli import add_verify_parser
 
     add_verify_parser(sub)
+    add_lint_parser(sub)
     return parser
 
 

@@ -63,6 +63,10 @@ class CuBlastpConfig:
     #: Enable the simulator's optional L2 model for this search's kernels
     #: (default timing omits L2; see DESIGN.md §5b and the L2 ablation).
     use_l2: bool = False
+    #: Run every kernel under the memory sanitizer (racecheck/initcheck/
+    #: boundscheck); any hazard fails the search with SanitizerError.
+    #: Functional output is unchanged — only checked (docs/ANALYSIS.md).
+    sanitize: bool = False
     hit_block_threads: int = 256
     ext_block_threads: int = 256
     cpu_threads: int = 4

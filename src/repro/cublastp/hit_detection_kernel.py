@@ -45,6 +45,10 @@ class HitDetectionKernel(Kernel):
         warps_per_block = self.block_threads // ctx.device.warp_size
         shared.alloc_from("dfa_states", s.dfa_state_records)
         shared.alloc("tops", warps_per_block * s.config.num_bins, np.int32)
+        # Cooperative memset: the flush loop reads every bin counter,
+        # including bins no hit ever incremented, so the region must be
+        # initialised, not just allocated (initcheck enforces this).
+        shared.fill("tops", 0)
         return int(s.dfa_state_records.nbytes)
 
     def run_warp(self, ctx: KernelContext, warp: Warp, block_id: int, warp_in_block: int) -> None:

@@ -93,6 +93,11 @@ def run_gpu_phases(
     extensions, p_ext = run_extension(
         session, seeds, cutoffs.x_drop_ungapped, pipe.params.word_length
     )
+    # Under CuBlastpConfig(sanitize=True) every launch above recorded its
+    # accesses; any accumulated hazard fails the search here, after the
+    # whole GPU side ran (one report covers all five kernels).
+    if session.ctx.sanitizer is not None:
+        session.ctx.sanitizer.raise_if_dirty()
     profiles = {
         "hit_detection": p_hit,
         "hit_assembling": p_asm,

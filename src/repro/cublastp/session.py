@@ -79,6 +79,7 @@ class DeviceSession:
             device=device,
             use_readonly_cache=config.use_readonly_cache,
             use_l2=config.use_l2,
+            sanitize=config.sanitize,
         )
 
         mem = self.ctx.memory

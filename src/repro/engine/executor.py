@@ -277,7 +277,10 @@ class BatchExecutor:
                 if self.events is not None:
                     engine_name = payload.get("engine", engine_spec.name)
                     for phase, work_items, modelled_ms, wall_ms in payload.get("events", []):
-                        self.events.emit(
+                        # Re-emission of worker-timed phases: the worker
+                        # already paired start/end; the parent log records
+                        # only the closing edge with the measured duration.
+                        self.events.emit(  # reprolint: disable=event-begin-end-pairing
                             engine_name,
                             phase,
                             "end",

@@ -107,7 +107,7 @@ class EngineSpec:
     threads: int | None = None
     device: Any | None = None
 
-    def build(self, events=None) -> Engine:
+    def build(self, events: Any | None = None) -> Engine:
         return make_engine(
             self.name,
             self.params,
@@ -259,7 +259,7 @@ class ClusterNodeSpec:
     num_nodes: int
     interleaved: bool = True
 
-    def setup(self):
+    def setup(self) -> tuple[Any, Any]:
         from repro.cluster.partition import partition_database
         from repro.cublastp.search import CuBlastp
         from repro.io.database import SequenceDatabase
@@ -269,7 +269,7 @@ class ClusterNodeSpec:
         searcher = CuBlastp(self.query, self.params, self.config, self.device)
         return searcher, parts
 
-    def run(self, state, node: int) -> dict:
+    def run(self, state: tuple[Any, Any], node: int) -> dict:
         from repro.verify.canonical import alignments_to_payload
 
         searcher, parts = state
@@ -294,11 +294,13 @@ class ClusterNodeSpec:
         }
 
 
-def _worker_main(spec, task_queue, result_queue, worker_id: int) -> None:
+def _worker_main(
+    spec: Any, task_queue: Any, result_queue: Any, worker_id: int
+) -> None:
     """Worker entry point: one setup, then a task loop until the sentinel."""
     try:
         state = spec.setup()
-    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+    except BaseException as exc:  # noqa: BLE001  # reprolint: disable=no-bare-except
         result_queue.put(("init_error", worker_id, _encode_error(exc)))
         return
     while True:
@@ -313,7 +315,7 @@ def _worker_main(spec, task_queue, result_queue, worker_id: int) -> None:
             try:
                 payload = spec.run(state, item)
                 result_queue.put(("ok", worker_id, (index, payload)))
-            except BaseException as exc:  # noqa: BLE001 - per-task isolation
+            except BaseException as exc:  # noqa: BLE001  # reprolint: disable=no-bare-except
                 result_queue.put(("err", worker_id, (index, _encode_error(exc))))
 
 

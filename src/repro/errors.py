@@ -34,3 +34,11 @@ class ResourceExceededError(GpuSimError):
     Raised, for example, when a block's shared-memory request exceeds the
     per-SM shared memory, mirroring a CUDA launch failure.
     """
+
+
+class SanitizerError(GpuSimError):
+    """The memory sanitizer found a hazard (``KernelContext(sanitize=True)``).
+
+    Carries the formatted racecheck/initcheck/boundscheck reports; see
+    :mod:`repro.gpusim.sanitizer` and docs/ANALYSIS.md.
+    """

@@ -27,6 +27,7 @@ from repro.gpusim.memory import GlobalBuffer, MemorySpace
 from repro.gpusim.cache import ReadOnlyCache
 from repro.gpusim.occupancy import OccupancyResult, occupancy
 from repro.gpusim.profiler import KernelProfile
+from repro.gpusim.sanitizer import Sanitizer, SanitizerReport
 from repro.gpusim.shared import SharedMemory
 from repro.gpusim.transfer import TransferModel
 from repro.gpusim.warp import Warp
@@ -41,6 +42,8 @@ __all__ = [
     "MemorySpace",
     "OccupancyResult",
     "ReadOnlyCache",
+    "Sanitizer",
+    "SanitizerReport",
     "SharedMemory",
     "TransferModel",
     "Warp",

@@ -20,6 +20,7 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.memory import DeviceMemory
 from repro.gpusim.occupancy import occupancy
 from repro.gpusim.profiler import KernelProfile
+from repro.gpusim.sanitizer import Sanitizer
 from repro.gpusim.shared import SharedMemory
 from repro.gpusim.warp import Warp
 
@@ -31,6 +32,11 @@ class KernelContext:
     One context corresponds to one CUDA context: buffers allocated here are
     visible to every kernel launched against it, and the read-only cache
     persists across launches within one pipeline stage.
+
+    ``memory`` and ``cache`` accept ``None`` only as a construction-time
+    default: ``__post_init__`` always narrows them to real instances, so
+    after construction they are never ``None`` (``l2`` and ``sanitizer``
+    stay genuinely optional — present only when their mode is enabled).
     """
 
     device: DeviceSpec
@@ -38,9 +44,14 @@ class KernelContext:
     #: Enable the optional L2 model (default timing omits it; see
     #: DESIGN.md §5b and benchmarks/bench_ablation_l2.py).
     use_l2: bool = False
-    memory: DeviceMemory = field(default=None)  # type: ignore[assignment]
-    cache: ReadOnlyCache = field(default=None)  # type: ignore[assignment]
-    l2: ReadOnlyCache = field(default=None)  # type: ignore[assignment]
+    #: Enable the memory sanitizer (racecheck/initcheck/boundscheck; see
+    #: repro.gpusim.sanitizer and docs/ANALYSIS.md). Off by default — the
+    #: recording roughly doubles per-access overhead.
+    sanitize: bool = False
+    memory: DeviceMemory | None = None
+    cache: ReadOnlyCache | None = None
+    l2: ReadOnlyCache | None = None
+    sanitizer: Sanitizer | None = None
     params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -52,6 +63,8 @@ class KernelContext:
             from repro.gpusim.cache import make_l2_cache
 
             self.l2 = make_l2_cache(self.device)
+        if self.sanitizer is None and self.sanitize:
+            self.sanitizer = Sanitizer()
 
 
 class Kernel:
@@ -110,10 +123,13 @@ def launch(
         )
     warps_per_block = kernel.block_threads // device.warp_size
     profile = KernelProfile(name=kernel.name, device=device)
+    cache = ctx.cache
+    assert cache is not None  # narrowed in KernelContext.__post_init__
+    san = ctx.sanitizer if ctx.sanitize else None
 
     # Dry block 0 to measure shared usage for occupancy. The same SharedMemory
     # is then reused as block 0's real shared memory.
-    first_shared = SharedMemory(device)
+    first_shared = SharedMemory(device, sanitizer=san)
     init_bytes = kernel.setup_block(ctx, first_shared, 0)
     occ = occupancy(
         device,
@@ -137,7 +153,7 @@ def launch(
         if block_id == 0:
             shared = first_shared
         else:
-            shared = SharedMemory(device)
+            shared = SharedMemory(device, sanitizer=san)
             init_bytes = kernel.setup_block(ctx, shared, block_id)
         if init_bytes:
             tx = -(-init_bytes // line)
@@ -150,12 +166,17 @@ def launch(
                 device=device,
                 profile=profile,
                 shared=shared,
-                cache=ctx.cache,
+                cache=cache,
                 warp_id=block_id * warps_per_block + w,
                 num_warps=num_warps,
                 use_readonly_cache=ctx.use_readonly_cache,
                 l2=ctx.l2 if ctx.use_l2 else None,
+                sanitizer=san,
             )
             profile.warps_executed += 1
             kernel.run_warp(ctx, warp, block_id, w)
+        if san is not None:
+            san.finish_block(kernel.name, block_id)
+    if san is not None:
+        san.finish_launch(kernel.name)
     return profile

@@ -1,0 +1,329 @@
+"""Memory sanitizer for the lane-level simulator (racecheck + initcheck).
+
+``compute-sanitizer`` for the real cuBLASTP kernels is the tool that
+keeps "no synchronisation needed" claims honest; this module is its
+analogue for the simulator. Opt in with ``KernelContext(sanitize=True)``
+and every :class:`~repro.gpusim.warp.Warp` memory instruction records the
+active lanes' element indices per warp. At block/launch boundaries the
+recorded sets are analysed:
+
+racecheck
+    The simulator *serialises* warps, so a cross-warp data race can never
+    corrupt a result here — but the same kernel on hardware would be
+    broken. The check therefore flags **semantic** races: two different
+    warps touching the same shared-memory cell where at least one access
+    is a non-atomic write (write-write and read-write hazards; atomics
+    pair safely with atomics). There is no ``__syncthreads`` in the
+    kernel model — ``setup_block`` runs before any warp, which is the
+    only ordered point — so *any* cross-warp overlap inside ``run_warp``
+    is a hazard. Global memory gets the write-write half of the check
+    (cross-launch reuse is ordered by launch boundaries and in-launch
+    read-after-atomic idioms are legitimate, so global reads are not
+    tracked).
+
+initcheck
+    ``SharedMemory.alloc`` is *raw* storage — the functional zeros it
+    hands out model a convenient simulator, not the hardware contract.
+    Reading (or atomically updating, which reads the old value) a cell no
+    warp has written and no ``alloc_from``/``fill`` initialised is
+    flagged. Global buffers are always initialised at allocation
+    (``DeviceMemory.alloc`` copies data in), so initcheck is a
+    shared-memory concern.
+
+boundscheck
+    Out-of-region lane indices raise immediately as
+    :class:`~repro.errors.SanitizerError` with the offending stride —
+    same condition the engine already hard-errors on, but typed and
+    reported with per-warp context.
+
+Hazards are aggregated per (region, hazard kind) with a sample cell and
+an occurrence count, so a racy loop produces one report, not thousands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SanitizerError
+
+#: Sentinel warp id for "no warp has accessed this cell yet".
+_NOBODY = -1
+
+
+@dataclass(frozen=True)
+class SanitizerReport:
+    """One aggregated sanitizer diagnostic."""
+
+    check: str  #: ``racecheck`` | ``initcheck`` | ``boundscheck``
+    space: str  #: ``shared`` | ``global``
+    region: str  #: shared region or global buffer name
+    kernel: str
+    hazard: str  #: e.g. ``write-write``, ``uninitialized-read``
+    count: int  #: cells involved
+    sample_index: int  #: one offending element index
+    sample_warps: tuple[int, int]  #: two warps involved at the sample
+    block_id: int | None = None  #: block (shared hazards only)
+
+    def __str__(self) -> str:
+        where = f"{self.space} {self.region!r}"
+        if self.block_id is not None:
+            where += f" (block {self.block_id})"
+        w0, w1 = self.sample_warps
+        warps = f"warp {w0}" if w1 == _NOBODY else f"warps {w0} and {w1}"
+        return (
+            f"{self.check}: {self.hazard} on {where} in kernel "
+            f"{self.kernel!r}: {self.count} cell(s), e.g. index "
+            f"{self.sample_index} by {warps}"
+        )
+
+
+class _RegionState:
+    """Streaming access state for one region (or global buffer)."""
+
+    __slots__ = ("size", "last_writer", "last_atomic", "last_reader", "multi_reader", "init")
+
+    def __init__(self, size: int, initialized: bool, track_reads: bool) -> None:
+        self.size = size
+        self.last_writer = np.full(size, _NOBODY, dtype=np.int64)
+        self.last_atomic = np.full(size, _NOBODY, dtype=np.int64)
+        if track_reads:
+            self.last_reader = np.full(size, _NOBODY, dtype=np.int64)
+            self.multi_reader = np.zeros(size, dtype=bool)
+            self.init = np.full(size, initialized, dtype=bool)
+        else:
+            self.last_reader = None
+            self.multi_reader = None
+            self.init = None
+
+
+@dataclass
+class _Hazard:
+    """Aggregation bucket: one (region, kind) pair across a block/launch."""
+
+    count: int = 0
+    sample_index: int = _NOBODY
+    sample_warps: tuple[int, int] = (_NOBODY, _NOBODY)
+
+    def add(self, indices: np.ndarray, warp: int, others: np.ndarray) -> None:
+        if indices.size == 0:
+            return
+        if self.count == 0:
+            self.sample_index = int(indices[0])
+            self.sample_warps = (warp, int(others[0]))
+        self.count += int(indices.size)
+
+
+class Sanitizer:
+    """Per-context access recorder + hazard analyser.
+
+    One instance lives on a :class:`~repro.gpusim.kernel.KernelContext`
+    for its whole lifetime; reports accumulate across launches until
+    :meth:`raise_if_dirty` or :meth:`reset`.
+    """
+
+    def __init__(self) -> None:
+        self.reports: list[SanitizerReport] = []
+        self._shared: dict[str, _RegionState] = {}
+        self._global: dict[str, _RegionState] = {}
+        #: (space, region, hazard) -> aggregation bucket for the open
+        #: block (shared) / launch (global).
+        self._pending: dict[tuple[str, str, str], _Hazard] = {}
+
+    # -- region lifecycle (SharedMemory hooks) ------------------------------
+
+    def on_shared_alloc(self, name: str, size: int, initialized: bool) -> None:
+        self._shared[name] = _RegionState(size, initialized, track_reads=True)
+
+    def on_shared_fill(self, name: str) -> None:
+        state = self._shared.get(name)
+        if state is not None and state.init is not None:
+            state.init[:] = True
+
+    # -- access recording (Warp hooks; indices are active lanes only) -------
+
+    def shared_read(self, name: str, warp_id: int, idx: np.ndarray) -> None:
+        state = self._require(self._shared, name, "shared")
+        cells = self._cells(state, "shared", name, warp_id, idx)
+        self._check_uninit(state, name, warp_id, cells)
+        # Read-after-write from another warp.
+        w = state.last_writer[cells]
+        self._hazard(
+            "shared", name, "read-write",
+            cells[(w != _NOBODY) & (w != warp_id)], warp_id, w[(w != _NOBODY) & (w != warp_id)],
+        )
+        a = state.last_atomic[cells]
+        self._hazard(
+            "shared", name, "atomic-read",
+            cells[(a != _NOBODY) & (a != warp_id)], warp_id, a[(a != _NOBODY) & (a != warp_id)],
+        )
+        state.multi_reader[cells] |= (state.last_reader[cells] != _NOBODY) & (
+            state.last_reader[cells] != warp_id
+        )
+        state.last_reader[cells] = warp_id
+
+    def shared_write(self, name: str, warp_id: int, idx: np.ndarray) -> None:
+        state = self._require(self._shared, name, "shared")
+        cells = self._cells(state, "shared", name, warp_id, idx)
+        self._record_write("shared", name, state, warp_id, cells, atomic=False)
+
+    def shared_atomic(self, name: str, warp_id: int, idx: np.ndarray) -> None:
+        state = self._require(self._shared, name, "shared")
+        cells = self._cells(state, "shared", name, warp_id, idx)
+        # An atomic RMW reads the old value: uninitialised cells count.
+        self._check_uninit(state, name, warp_id, cells)
+        self._record_write("shared", name, state, warp_id, cells, atomic=True)
+
+    def global_read(self, name: str, size: int, warp_id: int, idx: np.ndarray) -> None:
+        state = self._global_state(name, size)
+        self._cells(state, "global", name, warp_id, idx)  # bounds only
+
+    def global_write(self, name: str, size: int, warp_id: int, idx: np.ndarray) -> None:
+        state = self._global_state(name, size)
+        cells = self._cells(state, "global", name, warp_id, idx)
+        self._record_write("global", name, state, warp_id, cells, atomic=False)
+
+    def global_atomic(self, name: str, size: int, warp_id: int, idx: np.ndarray) -> None:
+        state = self._global_state(name, size)
+        cells = self._cells(state, "global", name, warp_id, idx)
+        self._record_write("global", name, state, warp_id, cells, atomic=True)
+
+    # -- launch boundaries (launcher hooks) ---------------------------------
+
+    def finish_block(self, kernel: str, block_id: int) -> None:
+        """Close one block: emit its shared hazards, drop shared state."""
+        self._flush("shared", kernel, block_id)
+        self._shared.clear()
+
+    def finish_launch(self, kernel: str) -> None:
+        """Close one launch: emit global hazards, drop global state."""
+        self._flush("global", kernel, None)
+        self._global.clear()
+
+    def raise_if_dirty(self) -> None:
+        """Raise :class:`SanitizerError` when any report accumulated."""
+        if self.reports:
+            lines = "\n".join(f"  {r}" for r in self.reports)
+            raise SanitizerError(
+                f"sanitizer: {len(self.reports)} report(s):\n{lines}"
+            )
+
+    def reset(self) -> None:
+        self.reports.clear()
+        self._shared.clear()
+        self._global.clear()
+        self._pending.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _require(table: dict[str, _RegionState], name: str, space: str) -> _RegionState:
+        state = table.get(name)
+        if state is None:
+            raise SanitizerError(f"sanitizer: access to unregistered {space} region {name!r}")
+        return state
+
+    def _global_state(self, name: str, size: int) -> _RegionState:
+        state = self._global.get(name)
+        if state is None or state.size != size:
+            # Global buffers are initialised at allocation; reads untracked.
+            state = _RegionState(size, initialized=True, track_reads=False)
+            self._global[name] = state
+        return state
+
+    def _cells(
+        self, state: _RegionState, space: str, name: str, warp_id: int, idx: np.ndarray
+    ) -> np.ndarray:
+        cells = np.unique(np.asarray(idx, dtype=np.int64))
+        if cells.size and (int(cells[0]) < 0 or int(cells[-1]) >= state.size):
+            bad = int(cells[-1]) if int(cells[-1]) >= state.size else int(cells[0])
+            report = SanitizerReport(
+                check="boundscheck",
+                space=space,
+                region=name,
+                kernel="<in flight>",
+                hazard="out-of-region-stride",
+                count=1,
+                sample_index=bad,
+                sample_warps=(warp_id, _NOBODY),
+            )
+            self.reports.append(report)
+            raise SanitizerError(f"sanitizer: {report}")
+        return cells
+
+    def _check_uninit(
+        self, state: _RegionState, name: str, warp_id: int, cells: np.ndarray
+    ) -> None:
+        if state.init is None:
+            return
+        cold = cells[~state.init[cells]]
+        self._hazard(
+            "shared", name, "uninitialized-read",
+            cold, warp_id, np.full(cold.size, _NOBODY, dtype=np.int64),
+        )
+
+    def _record_write(
+        self,
+        space: str,
+        name: str,
+        state: _RegionState,
+        warp_id: int,
+        cells: np.ndarray,
+        atomic: bool,
+    ) -> None:
+        w = state.last_writer[cells]
+        other_w = (w != _NOBODY) & (w != warp_id)
+        self._hazard(space, name, "write-write", cells[other_w], warp_id, w[other_w])
+        a = state.last_atomic[cells]
+        other_a = (a != _NOBODY) & (a != warp_id)
+        if not atomic:
+            # Plain write over another warp's atomic territory.
+            self._hazard(space, name, "write-write", cells[other_a], warp_id, a[other_a])
+        if state.last_reader is not None:
+            r = state.last_reader[cells]
+            other_r = (r != _NOBODY) & ((r != warp_id) | state.multi_reader[cells])
+            self._hazard(space, name, "read-write", cells[other_r], warp_id, r[other_r])
+        if atomic:
+            state.last_atomic[cells] = warp_id
+        else:
+            state.last_writer[cells] = warp_id
+        if state.init is not None:
+            state.init[cells] = True
+
+    def _hazard(
+        self, space: str, region: str, kind: str,
+        indices: np.ndarray, warp: int, others: np.ndarray,
+    ) -> None:
+        if indices.size == 0:
+            return
+        key = (space, region, kind)
+        bucket = self._pending.get(key)
+        if bucket is None:
+            bucket = self._pending[key] = _Hazard()
+        bucket.add(indices, warp, others)
+
+    def _flush(self, space: str, kernel: str, block_id: int | None) -> None:
+        check = {
+            "write-write": "racecheck",
+            "read-write": "racecheck",
+            "atomic-read": "racecheck",
+            "uninitialized-read": "initcheck",
+        }
+        for (sp, region, kind), bucket in sorted(self._pending.items()):
+            if sp != space:
+                continue
+            self.reports.append(
+                SanitizerReport(
+                    check=check[kind],
+                    space=sp,
+                    region=region,
+                    kernel=kernel,
+                    hazard=kind,
+                    count=bucket.count,
+                    sample_index=bucket.sample_index,
+                    sample_warps=bucket.sample_warps,
+                    block_id=block_id,
+                )
+            )
+        self._pending = {k: v for k, v in self._pending.items() if k[0] != space}

@@ -9,17 +9,31 @@ same 4-byte bank — the standard Kepler 32-bank rule (broadcasts of the
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import ResourceExceededError
 from repro.gpusim.device import DeviceSpec
 
+if TYPE_CHECKING:
+    from repro.gpusim.sanitizer import Sanitizer
+
 
 class SharedMemory:
-    """One block's shared memory: named numpy regions + conflict model."""
+    """One block's shared memory: named numpy regions + conflict model.
 
-    def __init__(self, device: DeviceSpec) -> None:
+    When a :class:`~repro.gpusim.sanitizer.Sanitizer` is attached, each
+    region's initialisation state is tracked: :meth:`alloc` hands out
+    *raw* storage (functionally zeroed for determinism, but reading it
+    before a write is an initcheck hazard), while :meth:`alloc_from` and
+    :meth:`fill` produce initialised regions — ``fill`` models the
+    cooperative memset a real block performs before use.
+    """
+
+    def __init__(self, device: DeviceSpec, sanitizer: Sanitizer | None = None) -> None:
         self._device = device
+        self._sanitizer = sanitizer
         self._regions: dict[str, np.ndarray] = {}
         self._offsets: dict[str, int] = {}
         self._used = 0
@@ -42,13 +56,29 @@ class SharedMemory:
         self._offsets[name] = self._used
         self._used += int(arr.nbytes)
         self._regions[name] = arr
+        if self._sanitizer is not None:
+            self._sanitizer.on_shared_alloc(name, size, initialized=False)
         return arr
 
     def alloc_from(self, name: str, data: np.ndarray) -> np.ndarray:
         """Reserve a region initialised with a copy of ``data``."""
         arr = self.alloc(name, int(np.asarray(data).reshape(-1).size), np.asarray(data).dtype)
         arr[:] = np.asarray(data).reshape(-1)
+        if self._sanitizer is not None:
+            self._sanitizer.on_shared_fill(name)
         return arr
+
+    def fill(self, name: str, value: int = 0) -> None:
+        """Initialise a whole region (the cooperative-memset idiom).
+
+        Functionally redundant when ``value`` is 0 (``alloc`` zeroes for
+        determinism), but under ``sanitize=True`` this is what marks the
+        region initialised — mirroring the memset a real kernel needs
+        before reading cells it might never write.
+        """
+        self._regions[name][:] = value
+        if self._sanitizer is not None:
+            self._sanitizer.on_shared_fill(name)
 
     def region(self, name: str) -> np.ndarray:
         return self._regions[name]

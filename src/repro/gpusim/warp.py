@@ -23,7 +23,7 @@ is what the paper's relative claims need).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 import numpy as np
 
@@ -34,8 +34,11 @@ from repro.gpusim.memory import GlobalBuffer, MemorySpace, coalesce_transactions
 from repro.gpusim.profiler import KernelProfile
 from repro.gpusim.shared import SharedMemory
 
+if TYPE_CHECKING:
+    from repro.gpusim.sanitizer import Sanitizer
 
-def _as_lanes(value, n: int) -> np.ndarray:
+
+def _as_lanes(value: Any, n: int) -> np.ndarray:
     """Lane-shape a value: scalars fan out, (n,) arrays pass through."""
     arr = np.asarray(value)
     if arr.ndim == 0:
@@ -74,6 +77,7 @@ class Warp:
         num_warps: int,
         use_readonly_cache: bool = True,
         l2: "ReadOnlyCache | None" = None,
+        sanitizer: Sanitizer | None = None,
     ) -> None:
         self.device = device
         self.profile = profile
@@ -85,6 +89,10 @@ class Warp:
         #: Optional L2 model (None = default timing, misses cost full
         #: transactions; see gpusim.cache.make_l2_cache).
         self.l2 = l2
+        #: Optional memory sanitizer (``KernelContext(sanitize=True)``);
+        #: every load/store/atomic below reports its active-lane element
+        #: indices to it before touching the backing array.
+        self.sanitizer = sanitizer
         self.lane_id = np.arange(device.warp_size, dtype=np.int64)
         self._mask_stack: list[np.ndarray] = [
             np.ones(device.warp_size, dtype=bool)
@@ -173,12 +181,16 @@ class Warp:
         n_active = self._count_stack[-1]
         cost = 1
         if n_active == self.device.warp_size:
+            ai = idx
+        else:
+            ai = idx[act]
+        if n_active and self.sanitizer is not None:
+            self.sanitizer.global_read(buf.name, buf.data.size, self.warp_id, ai)
+        if n_active == self.device.warp_size:
             buf.check_bounds(idx)
             out = buf.data[idx]
-            ai = idx
             addrs = buf.byte_addresses(ai)
         elif n_active:
-            ai = idx[act]
             buf.check_bounds(ai)
             out = np.full(self.device.warp_size, fill, dtype=buf.data.dtype)
             out[act] = buf.data[ai]
@@ -231,6 +243,8 @@ class Warp:
         if count <= 0:
             return np.zeros(0, dtype=buf.data.dtype)
         idx = np.arange(start, start + count, dtype=np.int64)
+        if self.sanitizer is not None:
+            self.sanitizer.global_read(buf.name, buf.data.size, self.warp_id, idx)
         buf.check_bounds(idx)
         addrs = buf.byte_addresses(idx[[0, -1]])
         first = addrs[0] // self.device.cache_line_bytes
@@ -261,6 +275,8 @@ class Warp:
         cost = 1
         if n_active:
             ai = idx[act]
+            if self.sanitizer is not None:
+                self.sanitizer.global_write(buf.name, buf.data.size, self.warp_id, ai)
             buf.check_bounds(ai)
             buf.data[ai] = values[act].astype(buf.data.dtype)
             addrs = buf.byte_addresses(ai)
@@ -293,6 +309,8 @@ class Warp:
         out = np.full(self.device.warp_size, fill, dtype=region.dtype)
         cost = self.device.shared_cycles
         if act.any():
+            if self.sanitizer is not None:
+                self.sanitizer.shared_read(name, self.warp_id, idx[act])
             self._check_shared_bounds(name, idx[act])
             out[act] = region[idx[act]]
             conflicts = self.shared.conflict_cycles(name, idx[act])
@@ -310,6 +328,8 @@ class Warp:
         act = self.active
         cost = self.device.shared_cycles
         if act.any():
+            if self.sanitizer is not None:
+                self.sanitizer.shared_write(name, self.warp_id, idx[act])
             self._check_shared_bounds(name, idx[act])
             region[idx[act]] = values[act].astype(region.dtype)
             conflicts = self.shared.conflict_cycles(name, idx[act])
@@ -353,8 +373,12 @@ class Warp:
         if n_active:
             ai = idx[act]
             if buf is not None:
+                if self.sanitizer is not None:
+                    self.sanitizer.global_atomic(buf.name, buf.data.size, self.warp_id, ai)
                 buf.check_bounds(ai)
             elif shared_name is not None:
+                if self.sanitizer is not None:
+                    self.sanitizer.shared_atomic(shared_name, self.warp_id, ai)
                 self._check_shared_bounds(shared_name, ai)
             # Deterministic serialisation in ascending lane order.
             for lane in np.nonzero(act)[0]:

@@ -84,7 +84,7 @@ def read_fasta(lines: Iterable[str], validate: bool = True) -> Iterator[FastaRec
 
 def read_fasta_file(path: str | Path, validate: bool = True) -> list[FastaRecord]:
     """Read every record from a FASTA file into a list."""
-    with open(path, "r", encoding="ascii") as fh:
+    with open(path, encoding="ascii") as fh:
         return list(read_fasta(fh, validate=validate))
 
 

@@ -55,14 +55,27 @@ PATHS = ("direct", "view", "mmap", "batch", "process")
 
 @dataclass(frozen=True)
 class EngineVariant:
-    """One implementation under test: an engine on an execution path."""
+    """One implementation under test: an engine on an execution path.
+
+    ``sanitize=True`` builds the engine with
+    ``CuBlastpConfig(sanitize=True)``, so every simulated kernel runs
+    under the memory sanitizer (racecheck/initcheck/boundscheck) and any
+    hazard fails the case — the conformance corpus doubles as the
+    sanitizer's clean-run fixture (docs/ANALYSIS.md).
+    """
 
     name: str
     engine_name: str
     path: str = "direct"
+    sanitize: bool = False
 
     def make(self, params: SearchParams) -> Engine:
-        return make_engine(self.engine_name, params)
+        config = None
+        if self.sanitize:
+            from repro.cublastp import CuBlastpConfig
+
+            config = CuBlastpConfig(sanitize=True)
+        return make_engine(self.engine_name, params, config=config)
 
     def run_case(self, case: "Case") -> "SearchResult":
         """Run the case through this variant, returning its result."""
@@ -131,6 +144,7 @@ DEFAULT_VARIANTS: tuple[EngineVariant, ...] = (
     EngineVariant("cublastp-view", "cublastp", path="view"),
     EngineVariant("cublastp-batch", "cublastp", path="batch"),
     EngineVariant("cublastp-process", "cublastp", path="process"),
+    EngineVariant("cublastp-sanitize", "cublastp", sanitize=True),
 )
 
 #: Variant names accepted by ``repro verify --engines``.

@@ -1,0 +1,8 @@
+"""Fixture: triggers exactly ``public-api-all``."""
+
+
+def real():
+    return 1
+
+
+__all__ = ["real", "ghost", "real"]

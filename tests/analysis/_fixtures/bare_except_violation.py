@@ -1,0 +1,8 @@
+"""Fixture: triggers exactly ``no-bare-except``."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:  # noqa: E722
+        return None

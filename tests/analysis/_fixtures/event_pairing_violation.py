@@ -1,0 +1,5 @@
+"""Fixture: triggers exactly ``event-begin-end-pairing``."""
+
+
+def emit_only_start(events, ms):
+    events.emit("engine", "hit_detection", "start", modelled_ms=ms)

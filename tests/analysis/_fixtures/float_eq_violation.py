@@ -1,0 +1,5 @@
+"""Fixture: triggers exactly ``no-float-equality-on-scores``."""
+
+
+def same_alignment(a, b):
+    return a.score == 0.5 or b.bit_score != b.other

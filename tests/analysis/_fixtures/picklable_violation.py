@@ -1,0 +1,9 @@
+"""Fixture: triggers exactly ``picklable-spec-fields``."""
+
+
+class TaskSpec:
+    transform = lambda x: x  # noqa: E731
+
+
+def build():
+    return TaskSpec(setup=lambda: object())

@@ -1,0 +1,7 @@
+"""Fixture: triggers exactly ``no-unseeded-rng``."""
+
+import numpy as np
+
+
+def make_rng():
+    return np.random.default_rng()

@@ -1,0 +1,5 @@
+"""Fixture: triggers exactly ``shared-alloc-in-setup-only``."""
+
+
+def run_warp(ctx, warp, shared, block_id):
+    return shared.alloc("late_region", 32)

@@ -1,0 +1,12 @@
+"""Fixture: triggers exactly ``no-wall-clock-in-kernels``."""
+
+import time
+
+
+class Kernel:
+    """Stand-in base so the fixture needs no library import."""
+
+
+class LeakyKernel(Kernel):
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        return time.time()

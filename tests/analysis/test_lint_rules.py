@@ -1,0 +1,158 @@
+"""reprolint: every rule fires on its fixture, and the shipped tree is clean.
+
+Each file in ``_fixtures/`` violates exactly one rule; running the *full*
+rule set over it must report that rule and nothing else (cross-firing
+would make findings unactionable). The inverse property — ``repro lint``
+exits 0 on ``src/`` — is asserted here too, so a rule that starts
+false-positiving on the real tree fails this suite, not just CI.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ModuleSource, Rule, iter_python_files, run_lint
+from repro.analysis.base import check_module
+from repro.analysis.rules import ALL_RULES, RULE_NAMES, rule_by_name
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "_fixtures"
+
+#: fixture file -> the one rule it must trigger.
+FIXTURE_RULES = {
+    "rng_violation.py": "no-unseeded-rng",
+    "float_eq_violation.py": "no-float-equality-on-scores",
+    "wallclock_violation.py": "no-wall-clock-in-kernels",
+    "picklable_violation.py": "picklable-spec-fields",
+    "shared_alloc_violation.py": "shared-alloc-in-setup-only",
+    "event_pairing_violation.py": "event-begin-end-pairing",
+    "bare_except_violation.py": "no-bare-except",
+    "api_all_violation.py": "public-api-all",
+}
+
+
+class TestRuleRegistry:
+    def test_every_rule_has_a_fixture(self):
+        assert set(FIXTURE_RULES.values()) == set(RULE_NAMES)
+
+    def test_rules_satisfy_the_protocol(self):
+        for rule in ALL_RULES:
+            assert isinstance(rule, Rule)
+            assert rule.name == rule.name.lower()
+            assert rule.description
+
+    def test_rule_by_name_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            rule_by_name("no-such-rule")
+
+
+@pytest.mark.parametrize(("filename", "rule_name"), sorted(FIXTURE_RULES.items()))
+class TestFixtures:
+    def test_fixture_triggers_exactly_its_rule(self, filename, rule_name):
+        module = ModuleSource.parse(FIXTURES / filename)
+        fired = {f.rule for f in check_module(module, ALL_RULES)}
+        assert fired == {rule_name}, (
+            f"{filename} should trigger only {rule_name!r}, got {sorted(fired)}"
+        )
+
+    def test_findings_carry_locations(self, filename, rule_name):
+        module = ModuleSource.parse(FIXTURES / filename)
+        for finding in check_module(module, ALL_RULES):
+            assert finding.line >= 1
+            assert filename in finding.path
+            assert finding.message
+
+
+class TestSuppression:
+    def test_inline_disable_drops_the_finding(self, tmp_path):
+        src = FIXTURES / "bare_except_violation.py"
+        patched = src.read_text().replace(
+            "    except:  # noqa: E722",
+            "    except:  # noqa: E722  # reprolint: disable=no-bare-except",
+        )
+        target = tmp_path / "suppressed.py"
+        target.write_text(patched)
+        findings, errors = run_lint([target], ALL_RULES)
+        assert not errors
+        assert findings == []
+
+    def test_file_level_disable(self, tmp_path):
+        target = tmp_path / "filewide.py"
+        target.write_text(
+            "# reprolint: disable-file=no-unseeded-rng\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+        )
+        findings, _ = run_lint([target], ALL_RULES)
+        assert findings == []
+
+    def test_unrelated_rule_in_disable_list_does_not_mask(self, tmp_path):
+        target = tmp_path / "wrong_rule.py"
+        target.write_text(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # reprolint: disable=no-bare-except\n"
+        )
+        findings, _ = run_lint([target], ALL_RULES)
+        assert [f.rule for f in findings] == ["no-unseeded-rng"]
+
+
+class TestTreeIsClean:
+    def test_src_tree_has_no_findings(self):
+        findings, errors = run_lint([REPO / "src"], ALL_RULES)
+        assert not errors
+        assert findings == [], "shipped tree must lint clean:\n" + "\n".join(
+            str(f) for f in findings
+        )
+
+    def test_walker_never_scans_fixtures(self):
+        scanned = list(iter_python_files([REPO / "tests"]))
+        assert not any("_fixtures" in str(p) for p in scanned)
+        # ...but explicit file arguments always pass through.
+        explicit = list(iter_python_files([FIXTURES / "rng_violation.py"]))
+        assert len(explicit) == 1
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self):
+        assert main(["lint", str(REPO / "src")]) == 0
+
+    def test_findings_exit_one(self, capsys):
+        code = main(["lint", str(FIXTURES / "rng_violation.py")])
+        assert code == 1
+        assert "no-unseeded-rng" in capsys.readouterr().out
+
+    def test_rule_filter(self):
+        # The rng fixture is clean under an unrelated rule.
+        assert (
+            main(["lint", "--rule", "no-bare-except", str(FIXTURES / "rng_violation.py")])
+            == 0
+        )
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--rule", "no-such-rule", "src"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self):
+        assert main(["lint", "definitely/not/here"]) == 2
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "broken.py" in capsys.readouterr().err
+
+    def test_list_exits_zero_and_names_all_rules(self, capsys):
+        assert main(["lint", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in RULE_NAMES:
+            assert name in out
+
+    def test_json_report(self, capsys):
+        code = main(["lint", "--json", str(FIXTURES / "api_all_violation.py")])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["errors"] == []
+        assert {f["rule"] for f in report["findings"]} == {"public-api-all"}
+        assert all({"rule", "path", "line", "col", "message"} <= set(f) for f in report["findings"])

@@ -2,101 +2,82 @@
 
 Conformance failures must replay deterministically from a recorded seed,
 which only holds if *every* random draw in the library, the tests, the
-benchmarks and the examples flows from an explicit seed. This audit
-scans the source tree for the two ways unseeded randomness enters:
+benchmarks and the examples flows from an explicit seed.
 
-* ``np.random.default_rng()`` with no argument (OS-entropy seeded);
-* the legacy global-state API (``np.random.seed`` / ``np.random.rand`` /
-  ``np.random.choice`` etc. called on the module), whose hidden global
-  stream cannot be pinned per-case;
-* the stdlib ``random`` module's global functions.
-
-Run as a test so the property is continuously enforced, not a one-off
-cleanup.
+Historically this was a grep over the tree; it is now a thin wrapper
+around the ``no-unseeded-rng`` AST rule in :mod:`repro.analysis` (the
+same rule ``repro lint`` enforces), which sees imports and aliases
+instead of text — ``from numpy import random as npr`` can't slip past
+it, and strings/comments can't false-positive. The historic test names
+are kept so CI history stays comparable.
 """
 
-import re
 from pathlib import Path
 
 import pytest
+
+from repro.analysis import ModuleSource, iter_python_files, run_lint
+from repro.analysis.rules import rule_by_name
 
 REPO = Path(__file__).resolve().parents[2]
 
 #: Trees whose randomness must be seed-pinned.
 SCAN_DIRS = ("src", "tests", "benchmarks", "examples")
 
-#: ``default_rng()`` / ``default_rng( )`` — entropy-seeded generator.
-BARE_DEFAULT_RNG = re.compile(r"default_rng\(\s*\)")
-
-#: Legacy numpy global-state API: ``np.random.<fn>(`` for any function
-#: other than constructing an explicit Generator/SeedSequence.
-LEGACY_NP_RANDOM = re.compile(
-    r"np\.random\.(?!default_rng\b|Generator\b|SeedSequence\b)[a-z_]+\s*\("
-)
-
-#: Stdlib ``random.<fn>(`` global calls (``import random`` misuse); the
-#: word boundary avoids matching methods like ``rng.random(``.
-STDLIB_RANDOM = re.compile(
-    r"(?<![.\w])random\.(random|randint|choice|shuffle|seed|uniform|sample)\s*\("
-)
+RULE = rule_by_name("no-unseeded-rng")
 
 
-def _python_files():
-    for d in SCAN_DIRS:
-        root = REPO / d
-        if root.is_dir():
-            yield from sorted(root.rglob("*.py"))
+def _scan_roots():
+    return [REPO / d for d in SCAN_DIRS if (REPO / d).is_dir()]
 
 
-def _violations(pattern: re.Pattern) -> list[str]:
-    this_file = Path(__file__).resolve()
-    out = []
-    for path in _python_files():
-        if path.resolve() == this_file:
-            continue  # the patterns themselves live here
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            stripped = line.split("#", 1)[0]  # ignore comments
-            if pattern.search(stripped):
-                out.append(f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
-    return out
+def _violations() -> list[str]:
+    findings, errors = run_lint(_scan_roots(), [RULE])
+    assert not errors, f"seed audit could not parse the tree: {errors}"
+    return [str(f) for f in findings]
+
+
+def _check_source(source: str) -> list[str]:
+    """Run the rule over a planted source snippet."""
+    module = ModuleSource.parse(Path("<plant>.py"), source)
+    return [f.message for f in RULE.check(module)]
 
 
 class TestSeedPinning:
     def test_scan_finds_files(self):
-        files = list(_python_files())
+        files = [p for root in _scan_roots() for p in iter_python_files([root])]
         assert len(files) > 100, "audit lost sight of the source tree"
 
     def test_no_bare_default_rng(self):
-        hits = _violations(BARE_DEFAULT_RNG)
+        # One AST pass covers all three historic pattern classes; the
+        # split names are kept for CI-history continuity.
+        hits = _violations()
         assert not hits, (
-            "unseeded default_rng() found — thread an explicit seed "
+            "unseeded randomness found — thread an explicit seed "
             "through:\n" + "\n".join(hits)
         )
 
     def test_no_legacy_numpy_global_random(self):
-        hits = _violations(LEGACY_NP_RANDOM)
-        assert not hits, (
-            "legacy np.random.* global-state call found — use "
-            "np.random.default_rng(seed):\n" + "\n".join(hits)
-        )
+        assert not _violations()
 
     def test_no_stdlib_global_random(self):
-        hits = _violations(STDLIB_RANDOM)
-        assert not hits, (
-            "stdlib random.* global call found — use a seeded "
-            "np.random.default_rng:\n" + "\n".join(hits)
-        )
+        assert not _violations()
 
     def test_audit_catches_a_plant(self, tmp_path):
-        """The patterns themselves are live (guard against regex rot)."""
-        assert BARE_DEFAULT_RNG.search("rng = np.random.default_rng()")
-        assert LEGACY_NP_RANDOM.search("x = np.random.randint(0, 5)")
-        assert LEGACY_NP_RANDOM.search("np.random.seed(42)")
-        assert not LEGACY_NP_RANDOM.search("np.random.default_rng(7)")
-        assert not LEGACY_NP_RANDOM.search("np.random.SeedSequence(7)")
-        assert STDLIB_RANDOM.search("import random; random.shuffle(xs)")
-        assert not STDLIB_RANDOM.search("rng.random(3)")
-        assert not STDLIB_RANDOM.search("spec.random.choice")
+        """The rule itself is live (guard against rule rot)."""
+        assert _check_source("import numpy as np\nrng = np.random.default_rng()\n")
+        assert _check_source("import numpy as np\nx = np.random.randint(0, 5)\n")
+        assert _check_source("import numpy as np\nnp.random.seed(42)\n")
+        assert _check_source("import random\nrandom.shuffle(xs)\n")
+        assert _check_source("from random import choice\n")
+        # Alias-aware: the grep era could not see these.
+        assert _check_source("from numpy import random as npr\nnpr.seed(1)\n")
+        assert _check_source("import numpy\nnumpy.random.rand(3)\n")
+        # Seeded constructions stay legal.
+        assert not _check_source("import numpy as np\nrng = np.random.default_rng(7)\n")
+        assert not _check_source("import numpy as np\nss = np.random.SeedSequence(7)\n")
+        assert not _check_source("rng.random(3)\n")  # Generator method, not module
+        assert not _check_source("spec.random.choice(x)\n")
 
 
 @pytest.mark.parametrize("family", ["random", "homolog", "lowcomplexity", "pileup", "boundary"])

@@ -116,9 +116,9 @@ class TestSearch:
         recs = read_fasta_file(workspace["db"])
         multi = workspace["dir"] / "jobs.fasta"
         multi.write_text(
-            ">j0\n{}\n>j1\n{}\n>j2\n{}\n".format(
-                recs[2].sequence[:90], recs[5].sequence[:90], recs[9].sequence[:90]
-            )
+            f">j0\n{recs[2].sequence[:90]}\n"
+            f">j1\n{recs[5].sequence[:90]}\n"
+            f">j2\n{recs[9].sequence[:90]}\n"
         )
         rc = main(
             ["search", str(multi), workspace["db"], "--outfmt", "tabular",

@@ -67,7 +67,8 @@ class TestCompiledQuery:
         )
         assert rebound.lookup is compiled.lookup
         assert rebound.pssm is compiled.pssm
-        assert rebound.params.evalue == 1e-3
+        # evalue here is the configured cutoff, compared to its own literal.
+        assert rebound.params.evalue == 1e-3  # reprolint: disable=no-float-equality-on-scores
         # The DFA cache is shared across rebindings.
         assert rebound.dfa is compiled.dfa
 
@@ -101,7 +102,7 @@ class TestQueryCache:
             tiny_query, dataclasses.replace(tiny_params, evalue=0.5)
         )
         assert hit
-        assert rebound.params.evalue == 0.5
+        assert rebound.params.evalue == 0.5  # reprolint: disable=no-float-equality-on-scores
         assert len(cache) == 1
 
     def test_lru_eviction(self, tiny_spec, tiny_params):
@@ -277,7 +278,8 @@ class TestEventLog:
 
         def spam():
             for _ in range(200):
-                events.emit("t", "p", "end", modelled_ms=1.0)
+                # Thread-stress on the log itself; pairing is irrelevant here.
+                events.emit("t", "p", "end", modelled_ms=1.0)  # reprolint: disable=event-begin-end-pairing
 
         threads = [threading.Thread(target=spam) for _ in range(4)]
         for t in threads:

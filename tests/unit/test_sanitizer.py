@@ -1,0 +1,267 @@
+"""gpusim sanitizer: injected hazards are caught, shipped kernels are clean.
+
+The sanitizer's value rests on two proofs, both here: (1) *detection* —
+kernels with a deliberately injected cross-warp race, uninitialised read,
+or out-of-region stride produce the corresponding report; (2) *silence* —
+the race-free-by-construction cuBLASTP kernels run the full pipeline
+under ``sanitize=True`` without a single report, for every extension
+strategy. The 64-case conformance corpus additionally runs the
+``cublastp-sanitize`` variant (tests/conformance/test_conformance_matrix.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SearchParams
+from repro.cublastp import CuBlastp, CuBlastpConfig, ExtensionMode
+from repro.errors import SanitizerError
+from repro.gpusim import K20C, Kernel, KernelContext, launch
+from repro.io.workloads import WorkloadSpec, generate_database
+
+
+def _ctx() -> KernelContext:
+    return KernelContext(device=K20C, sanitize=True)
+
+
+class _TwoWarpKernel(Kernel):
+    """Base: one block of two warps over a 64-cell shared region."""
+
+    block_threads = 64
+
+    def setup_block(self, ctx, shared, block_id):
+        shared.alloc("buf", 64, np.int32)
+        shared.fill("buf", 0)
+        return 0
+
+
+class _WriteWriteRace(_TwoWarpKernel):
+    name = "race-injection"
+
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        # Both warps write cells 0..31 — the classic missing-partition race.
+        warp.store_shared("buf", warp.lane_id, warp.lane_id)
+
+
+class _ReadWriteRace(_TwoWarpKernel):
+    name = "rw-race-injection"
+
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        if warp_in_block == 0:
+            warp.load_shared("buf", warp.lane_id)
+        else:
+            warp.store_shared("buf", warp.lane_id, warp.lane_id)
+
+
+class _DisjointWrites(_TwoWarpKernel):
+    name = "disjoint-clean"
+
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        base = warp_in_block * 32
+        warp.store_shared("buf", base + warp.lane_id, warp.lane_id)
+        warp.load_shared("buf", base + warp.lane_id)
+
+
+class _AtomicContention(_TwoWarpKernel):
+    name = "atomic-clean"
+
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        # Every warp atomically bumps the same counter: contended but safe.
+        warp.atomic_add_shared("buf", np.zeros(32, dtype=np.int64), np.ones(32, dtype=np.int32))
+
+
+class _UninitRead(Kernel):
+    name = "uninit-injection"
+    block_threads = 64
+
+    def setup_block(self, ctx, shared, block_id):
+        shared.alloc("raw", 64, np.int32)  # allocated, never initialised
+        return 0
+
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        if warp_in_block == 0:
+            warp.load_shared("raw", warp.lane_id)
+
+
+class _UninitAtomic(Kernel):
+    """atomicAdd reads the old value, so it needs initialised cells too —
+    the exact hazard ``shared.fill("tops", 0)`` prevents in hit detection."""
+
+    name = "uninit-atomic-injection"
+    block_threads = 64
+
+    def setup_block(self, ctx, shared, block_id):
+        shared.alloc("raw", 64, np.int32)
+        return 0
+
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        if warp_in_block == 0:
+            warp.atomic_add_shared("raw", warp.lane_id, np.ones(32, dtype=np.int32))
+
+
+class _OutOfRegionStride(_TwoWarpKernel):
+    name = "oob-injection"
+
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        # Stride walks past the 64-cell region.
+        warp.load_shared("buf", warp.lane_id * 3)
+
+
+class _GlobalWriteRace(Kernel):
+    name = "global-race-injection"
+    block_threads = 64
+
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        out = ctx.memory.buffers["out"]
+        warp.store(out, warp.lane_id, warp.lane_id)  # same cells, every warp
+
+
+class _GlobalDisjoint(Kernel):
+    name = "global-clean"
+    block_threads = 64
+
+    def run_warp(self, ctx, warp, block_id, warp_in_block):
+        out = ctx.memory.buffers["out"]
+        warp.store(out, warp.warp_id * 32 + warp.lane_id, warp.lane_id)
+
+
+def _hazards(ctx):
+    return [(r.check, r.hazard) for r in ctx.sanitizer.reports]
+
+
+class TestRacecheck:
+    def test_write_write_race_is_detected(self):
+        ctx = _ctx()
+        launch(_WriteWriteRace(), ctx, grid_blocks=1)
+        assert ("racecheck", "write-write") in _hazards(ctx)
+        with pytest.raises(SanitizerError, match="write-write"):
+            ctx.sanitizer.raise_if_dirty()
+
+    def test_report_carries_location_and_warps(self):
+        ctx = _ctx()
+        launch(_WriteWriteRace(), ctx, grid_blocks=1)
+        report = next(r for r in ctx.sanitizer.reports if r.hazard == "write-write")
+        assert report.space == "shared"
+        assert report.region == "buf"
+        assert report.kernel == "race-injection"
+        assert report.block_id == 0
+        assert report.count == 32  # every cell both warps touched
+        assert set(report.sample_warps) == {0, 1}
+
+    def test_read_write_race_is_detected(self):
+        ctx = _ctx()
+        launch(_ReadWriteRace(), ctx, grid_blocks=1)
+        assert ("racecheck", "read-write") in _hazards(ctx)
+
+    def test_disjoint_warp_slices_are_clean(self):
+        ctx = _ctx()
+        launch(_DisjointWrites(), ctx, grid_blocks=2)
+        assert ctx.sanitizer.reports == []
+
+    def test_atomic_contention_is_not_a_race(self):
+        ctx = _ctx()
+        launch(_AtomicContention(), ctx, grid_blocks=1)
+        assert ctx.sanitizer.reports == []
+
+    def test_global_write_write_race_is_detected(self):
+        ctx = _ctx()
+        ctx.memory.alloc_zeros("out", 4096, np.int64)
+        launch(_GlobalWriteRace(), ctx, grid_blocks=2)
+        report = next(r for r in ctx.sanitizer.reports if r.hazard == "write-write")
+        assert report.space == "global"
+        assert report.region == "out"
+
+    def test_global_disjoint_writes_are_clean(self):
+        ctx = _ctx()
+        ctx.memory.alloc_zeros("out", 4096, np.int64)
+        launch(_GlobalDisjoint(), ctx, grid_blocks=2)
+        assert ctx.sanitizer.reports == []
+
+
+class TestInitcheck:
+    def test_uninitialized_read_is_detected(self):
+        ctx = _ctx()
+        launch(_UninitRead(), ctx, grid_blocks=1)
+        assert ("initcheck", "uninitialized-read") in _hazards(ctx)
+
+    def test_uninitialized_atomic_is_detected(self):
+        ctx = _ctx()
+        launch(_UninitAtomic(), ctx, grid_blocks=1)
+        assert ("initcheck", "uninitialized-read") in _hazards(ctx)
+
+    def test_fill_initialises(self):
+        ctx = _ctx()
+        launch(_WriteWriteRace(), ctx, grid_blocks=1)  # fill()s then writes
+        assert not any(r.check == "initcheck" for r in ctx.sanitizer.reports)
+
+    def test_write_then_read_is_initialised(self):
+        ctx = _ctx()
+        launch(_DisjointWrites(), ctx, grid_blocks=1)
+        assert ctx.sanitizer.reports == []
+
+
+class TestBoundscheck:
+    def test_out_of_region_stride_raises_immediately(self):
+        ctx = _ctx()
+        with pytest.raises(SanitizerError, match="out-of-region-stride"):
+            launch(_OutOfRegionStride(), ctx, grid_blocks=1)
+        assert any(r.check == "boundscheck" for r in ctx.sanitizer.reports)
+
+
+class TestShippedKernelsAreClean:
+    """The whole cuBLASTP GPU pipeline, all strategies, zero reports."""
+
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_database(
+            WorkloadSpec(
+                name="sanitize-clean",
+                num_sequences=80,
+                mean_length=150,
+                homolog_fraction=0.2,
+                seed=20140519,
+            )
+        )
+
+    @pytest.mark.parametrize("mode", list(ExtensionMode), ids=lambda m: m.value)
+    def test_pipeline_runs_clean_under_sanitize(self, db, mode):
+        config = CuBlastpConfig(extension_mode=mode, sanitize=True)
+        query = db.sequence_str(0)
+        result = CuBlastp(query, SearchParams(), config=config).search(db)
+        # A hazard would have raised inside run_gpu_phases; the search
+        # completing (with output identical to the unsanitized run) is
+        # the clean bill of health.
+        baseline = CuBlastp(
+            query, SearchParams(), config=CuBlastpConfig(extension_mode=mode)
+        ).search(db)
+        assert len(result.alignments) == len(baseline.alignments)
+        assert [a.score for a in result.alignments] == [
+            a.score for a in baseline.alignments
+        ]
+
+    def test_regression_without_fill_is_caught(self, db):
+        """Removing hit detection's cooperative memset must trip initcheck.
+
+        This is the injected-defect proof for the pipeline wiring: the
+        sanitizer isn't just attached, it fails the search when a real
+        kernel regresses (here: ``shared.fill("tops", 0)`` deleted, which
+        leaves never-incremented bin counters uninitialised when the
+        flush loop reads them).
+        """
+        from repro.cublastp import hit_detection_kernel as hdk
+
+        original = hdk.HitDetectionKernel.setup_block
+
+        def setup_without_fill(self, ctx, shared, block_id):
+            s = self.session
+            shared.alloc_from("dfa_states", s.dfa_state_records)
+            warps_per_block = self.block_threads // ctx.device.warp_size
+            shared.alloc("tops", warps_per_block * s.config.num_bins, np.int32)
+            return int(s.dfa_state_records.nbytes)
+
+        hdk.HitDetectionKernel.setup_block = setup_without_fill
+        try:
+            config = CuBlastpConfig(sanitize=True)
+            with pytest.raises(SanitizerError, match="uninitialized-read"):
+                CuBlastp(db.sequence_str(0), SearchParams(), config=config).search(db)
+        finally:
+            hdk.HitDetectionKernel.setup_block = original
