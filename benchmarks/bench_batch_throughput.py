@@ -20,8 +20,16 @@ multi-core runner the process backend must at least match the thread
 backend at the highest jobs value (the GIL-bound hot phases make threads
 plateau near serial; warm processes actually scale).
 
-The JSON is honest about its host: ``host.cpu_count`` is recorded, and a
-single-core box will legitimately show speedup ~1 for every cell.
+The JSON is honest about its host: ``host.cpu_count`` is recorded, each
+cell records both the *requested* and the *effective* (clamped) jobs
+value, and a single-core box will legitimately show speedup ~1 for every
+cell.
+
+``--modes per-query,db-sweep`` additionally sweeps the executor's
+batch-first mode (one blocked database pass through a merged multi-query
+index); ``--assert-sweep-geq-serial`` is the CI gate that the db-sweep
+trajectory stays at or above the per-query serial baseline — the
+amortised hit detection must never cost throughput.
 """
 
 from __future__ import annotations
@@ -45,7 +53,9 @@ from repro.io import generate_database, generate_query  # noqa: E402
 from repro.io.workloads import WorkloadSpec  # noqa: E402
 
 #: Schema version of the JSON record (bump on incompatible change).
-BENCH_SCHEMA_VERSION = 1
+#: v2: cells carry ``mode`` / ``requested_jobs`` / ``jobs_clamped``; the
+#: run list may mix per-query and db-sweep trajectories.
+BENCH_SCHEMA_VERSION = 2
 
 
 def build_workload(args) -> tuple[Path, list[tuple[str, str]], SearchParams, dict]:
@@ -89,23 +99,36 @@ def run_cell(
     jobs: int,
     queries: list[tuple[str, str]],
     db_path: Path,
+    mode: str = "per-query",
 ) -> dict:
-    """One (backend, jobs) cell: fresh engine, fresh event log, one batch."""
+    """One (backend, jobs, mode) cell: fresh engine and event log, one batch."""
     events = EventLog()
     engine = make_engine(engine_name, params, events=events)
     executor = BatchExecutor(
-        engine, jobs=jobs, backend=backend, collect_reports=False, events=events
+        engine,
+        jobs=jobs,
+        backend=backend,
+        mode=mode,
+        collect_reports=False,
+        events=events,
     )
     t0 = time.perf_counter()
     batch = executor.run(queries, db_path)
     wall_s = time.perf_counter() - t0
     errors = [(qid, str(e)) for qid, e in batch.errors]
     if errors:
-        raise RuntimeError(f"{backend}/jobs={jobs} had query failures: {errors[:3]}")
+        raise RuntimeError(
+            f"{backend}/{mode}/jobs={jobs} had query failures: {errors[:3]}"
+        )
     phase_wall = {k: round(v, 3) for k, v in sorted(events.wall_breakdown().items())}
     return {
         "backend": backend,
-        "jobs": jobs,
+        "mode": mode,
+        # The executor clamps process-backend jobs to the host's cores;
+        # record both sides so a clamped run can't masquerade as scaling.
+        "jobs": executor.jobs,
+        "requested_jobs": executor.requested_jobs,
+        "jobs_clamped": executor.jobs_clamped,
         "wall_s": round(wall_s, 3),
         "qps": round(len(queries) / wall_s, 3),
         "phase_wall_ms": phase_wall,
@@ -124,15 +147,26 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--jobs", default="1,2,4",
                     help="comma-separated jobs values to sweep")
     ap.add_argument("--backends", default="thread,process")
+    ap.add_argument("--modes", default="per-query",
+                    help="comma-separated executor modes to sweep "
+                    "(per-query, db-sweep)")
     ap.add_argument("--out", default=str(Path(__file__).parent.parent
                                          / "BENCH_batch_throughput.json"))
     ap.add_argument("--assert-process-geq-thread", action="store_true",
                     help="fail unless process qps >= thread qps at the "
                     "highest swept jobs value (CI gate; needs >1 core)")
+    ap.add_argument("--assert-sweep-geq-serial", action="store_true",
+                    help="fail unless the best db-sweep cell's qps >= the "
+                    "per-query serial baseline (CI gate for the batch-"
+                    "first inversion)")
     args = ap.parse_args(argv)
 
     jobs_list = [int(j) for j in args.jobs.split(",") if j.strip()]
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    for m in modes:
+        if m not in BatchExecutor.MODES:
+            ap.error(f"unknown mode {m!r} (choose from {', '.join(BatchExecutor.MODES)})")
     print(f"batch throughput: {args.queries} queries (lengths "
           f"{'/'.join(map(str, MIXED_QUERY_LENGTHS))}), "
           f"{args.db_sequences} sequences, engine={args.engine}, "
@@ -144,13 +178,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  serial baseline: {serial['wall_s']:.2f}s "
               f"({serial['qps']:.2f} q/s)")
         runs = []
-        for backend in backends:
-            for jobs in jobs_list:
-                cell = run_cell(args.engine, params, backend, jobs, queries, db_path)
-                cell["speedup_vs_serial"] = round(serial["wall_s"] / cell["wall_s"], 3)
-                runs.append(cell)
-                print(f"  {backend:<8} jobs={jobs}: {cell['wall_s']:.2f}s "
-                      f"({cell['qps']:.2f} q/s, {cell['speedup_vs_serial']:.2f}x)")
+        for mode in modes:
+            for backend in backends:
+                for jobs in jobs_list:
+                    cell = run_cell(
+                        args.engine, params, backend, jobs, queries, db_path, mode
+                    )
+                    cell["speedup_vs_serial"] = round(
+                        serial["wall_s"] / cell["wall_s"], 3
+                    )
+                    runs.append(cell)
+                    clamp = (
+                        f" (requested {cell['requested_jobs']}, clamped)"
+                        if cell["jobs_clamped"] else ""
+                    )
+                    print(f"  {backend:<8} {mode:<9} jobs={cell['jobs']}{clamp}: "
+                          f"{cell['wall_s']:.2f}s ({cell['qps']:.2f} q/s, "
+                          f"{cell['speedup_vs_serial']:.2f}x)")
     finally:
         os.unlink(db_path)
 
@@ -172,11 +216,11 @@ def main(argv: list[str] | None = None) -> int:
 
     print_table(
         "batch throughput",
-        ["backend", "jobs", "wall s", "q/s", "speedup", "top phase"],
+        ["backend", "mode", "jobs", "wall s", "q/s", "speedup", "top phase"],
         [
             [
-                r["backend"], r["jobs"], r["wall_s"], r["qps"],
-                r["speedup_vs_serial"],
+                r["backend"], r.get("mode", "per-query"), r["jobs"],
+                r["wall_s"], r["qps"], r["speedup_vs_serial"],
                 max(r["phase_wall_ms"], key=r["phase_wall_ms"].get)
                 if r["phase_wall_ms"] else "-",
             ]
@@ -185,8 +229,14 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     if args.assert_process_geq_thread:
+        # Requested jobs: clamping may collapse several requested values
+        # onto one effective value, so the gate keys on what was asked.
         top = max(jobs_list)
-        by = {(r["backend"], r["jobs"]): r for r in runs}
+        by = {
+            (r["backend"], r["requested_jobs"]): r
+            for r in runs
+            if r.get("mode", "per-query") == "per-query"
+        }
         thread = by.get(("thread", top))
         proc = by.get(("process", top))
         if thread is None or proc is None:
@@ -199,6 +249,21 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"OK: process qps {proc['qps']} >= thread qps {thread['qps']} "
               f"at jobs={top}")
+
+    if args.assert_sweep_geq_serial:
+        sweeps = [r for r in runs if r.get("mode") == "db-sweep"]
+        if not sweeps:
+            print("error: --assert-sweep-geq-serial needs a db-sweep cell "
+                  "(add db-sweep to --modes)", file=sys.stderr)
+            return 2
+        best = max(sweeps, key=lambda r: r["qps"])
+        if best["qps"] < serial["qps"]:
+            print(f"FAIL: best db-sweep qps {best['qps']} "
+                  f"({best['backend']}/jobs={best['jobs']}) < per-query "
+                  f"serial qps {serial['qps']}", file=sys.stderr)
+            return 1
+        print(f"OK: db-sweep qps {best['qps']} >= per-query serial qps "
+              f"{serial['qps']}")
     return 0
 
 

@@ -11,7 +11,15 @@ whose name ends in ``Spec``:
   ``field(default=...)`` / ``field(default_factory=lambda: ...)``
   (``default_factory=list`` is fine — module-level callables pickle by
   reference);
-* lambda arguments at ``SomethingSpec(...)`` construction sites.
+* lambda arguments at ``SomethingSpec(...)`` construction sites;
+* generator expressions at construction sites — a generator pickles
+  never, and a spec field holding one (e.g. a lazily-built query batch
+  handed to ``SweepBlockSpec``) dies on the first dispatch; materialise
+  with ``tuple(...)``;
+* field *annotations* that promise unpicklable values (``Callable``,
+  ``Iterator``, ``Generator``, file objects, locks): the annotation is
+  the spec's contract, and declaring an unpicklable type invites
+  callers to break the boundary.
 """
 
 from __future__ import annotations
@@ -21,6 +29,24 @@ from typing import Iterable
 
 from repro.analysis.base import Finding, ModuleSource, dotted_name
 
+#: Annotation names that promise values pickle cannot move across the
+#: process boundary (by reference or at all).
+UNPICKLABLE_ANNOTATIONS = frozenset(
+    {
+        "Callable",
+        "Iterator",
+        "Generator",
+        "AsyncGenerator",
+        "Coroutine",
+        "IO",
+        "TextIO",
+        "BinaryIO",
+        "Lock",
+        "RLock",
+        "Thread",
+    }
+)
+
 
 def _lambda_in(node: ast.expr) -> ast.Lambda | None:
     for sub in ast.walk(node):
@@ -29,9 +55,44 @@ def _lambda_in(node: ast.expr) -> ast.Lambda | None:
     return None
 
 
+def _bare_generator(node: ast.expr) -> ast.GeneratorExp | None:
+    """A generator expression passed *as is* (not consumed in place).
+
+    ``tuple(x for x in ...)`` materialises the generator before the spec
+    ever sees it and is fine; only a top-level generator argument ends up
+    stored on the spec.
+    """
+    return node if isinstance(node, ast.GeneratorExp) else None
+
+
+def _unpicklable_annotation(annotation: ast.expr) -> str | None:
+    """The first unpicklable type name inside ``annotation``, if any.
+
+    Annotations may be strings (``from __future__ import annotations`` or
+    explicit quoting), so constant annotations are parsed before walking.
+    """
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    for sub in ast.walk(annotation):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name in UNPICKLABLE_ANNOTATIONS:
+            return name
+    return None
+
+
 class PicklableSpecRule:
     name = "picklable-spec-fields"
-    description = "no lambdas/closures in *Spec fields or constructor args"
+    description = (
+        "no lambdas/closures/generators or unpicklable annotations in "
+        "*Spec fields or constructor args"
+    )
 
     def check(self, module: ModuleSource) -> Iterable[Finding]:
         out: list[Finding] = []
@@ -49,8 +110,20 @@ class PicklableSpecRule:
     ) -> Iterable[Finding]:
         for stmt in node.body:
             default: ast.expr | None = None
-            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
-                default = stmt.value
+            if isinstance(stmt, ast.AnnAssign):
+                bad_type = _unpicklable_annotation(stmt.annotation)
+                if bad_type is not None:
+                    yield module.finding(
+                        self.name,
+                        stmt,
+                        f"field annotation {bad_type!r} in spec class "
+                        f"{node.name!r} promises a value that will not "
+                        "pickle to pool workers; carry picklable data "
+                        "(builtins / registry dataclasses) and rebuild the "
+                        "object in setup()",
+                    )
+                if stmt.value is not None:
+                    default = stmt.value
             elif isinstance(stmt, ast.Assign):
                 default = stmt.value
             if default is None:
@@ -76,4 +149,13 @@ class PicklableSpecRule:
                     bad,
                     f"lambda passed to {name}(...) will not pickle to pool "
                     "workers; use a module-level callable",
+                )
+                continue
+            gen = _bare_generator(arg)
+            if gen is not None:
+                yield module.finding(
+                    self.name,
+                    gen,
+                    f"generator expression passed to {name}(...) will not "
+                    "pickle to pool workers; materialise it with tuple(...)",
                 )

@@ -112,9 +112,16 @@ def cmd_search(args: argparse.Namespace) -> int:
         engine,
         jobs=args.jobs,
         backend=getattr(args, "backend", "thread"),
+        mode="db-sweep" if getattr(args, "batch_mode", False) else "per-query",
         cache=QueryCache(),
         collect_reports=False,
     )
+    if executor.jobs_clamped:
+        print(
+            f"note: --jobs {executor.requested_jobs} clamped to "
+            f"{executor.jobs} (host cores)",
+            file=sys.stderr,
+        )
     first_tabular = True
     failed = 0
     for outcome in executor.stream(queries, db):
@@ -272,6 +279,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool flavour: threads share the GIL (cheap, limited "
         "scaling); processes re-open the database via mmap and scale the "
         "hot phases across cores",
+    )
+    p_search.add_argument(
+        "--batch-mode",
+        action="store_true",
+        help="batch-first db-sweep: one blocked database pass serves the "
+        "whole query batch through a merged multi-query index (results "
+        "identical to the per-query default); with --backend process, "
+        "workers own database blocks instead of queries",
     )
     p_search.set_defaults(func=cmd_search)
 

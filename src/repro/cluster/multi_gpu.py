@@ -343,3 +343,110 @@ class MultiGpuBlastp:
     def search(self, db: SequenceDatabase | str | Path) -> SearchResult:
         result, _ = self.search_with_report(db)
         return result
+
+    # -- batched search ------------------------------------------------------
+
+    @classmethod
+    def search_batch(
+        cls,
+        queries: "list[tuple[str, str]]",
+        num_nodes: int,
+        db: SequenceDatabase | str | Path,
+        params: SearchParams | None = None,
+        *,
+        store: DatabaseStore | None = None,
+        block_residues: int | None = None,
+    ) -> list[SearchResult]:
+        """Cluster-search a whole query batch, one sweep per node.
+
+        The db-sweep inversion applied to the cluster layer: instead of
+        broadcasting each query separately (``num_queries x num_nodes``
+        full pipeline runs over the partitions), every node makes *one*
+        blocked pass over its shard for the entire batch through a merged
+        :class:`~repro.seeding.multi_query.MultiQueryIndex`, and the head
+        node merges per-node alignment lists per query exactly as the
+        single-query path does. Statistics are pinned to the whole search
+        space (``effective_db_residues``), so each query's merged result
+        is identical to its single-node search of the full database.
+
+        ``queries`` is ``(query_id, sequence)`` pairs; one
+        :class:`~repro.core.results.SearchResult` per query, input order.
+        """
+        from repro.core.pipeline import BlastpPipeline
+        from repro.core.sweep import search_batch_sweep
+
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if isinstance(db, (str, Path)):
+            store = store or get_default_store()
+            parts = [h.partition for h in store.shards(db, num_nodes)]
+            db = store.open(db)
+        elif store is not None:
+            store.add(f"<cluster-db-{id(db)}>", db)
+            parts = [
+                h.partition
+                for h in store.shards(f"<cluster-db-{id(db)}>", num_nodes)
+            ]
+        else:
+            parts = partition_database(db, num_nodes)
+        full_residues = int(db.codes.size)
+        compiled = []
+        for _query_id, sequence in queries:
+            c = compile_query(sequence, params)
+            node_params = dataclasses.replace(
+                c.params,
+                effective_db_residues=c.params.effective_db_residues
+                or full_residues,
+            )
+            compiled.append(c.with_params(node_params))
+        n = len(queries)
+        per_node: list[list[list[Alignment]]] = [[] for _ in range(n)]
+        counts = [
+            dict.fromkeys(
+                (
+                    "num_hits",
+                    "num_seeds",
+                    "num_ungapped_extensions",
+                    "num_gapped_extensions",
+                ),
+                0,
+            )
+            for _ in range(n)
+        ]
+        for part in parts:
+            pipes = [
+                BlastpPipeline(c, query_id=query_id)
+                for c, (query_id, _) in zip(compiled, queries)
+            ]
+            outcomes = search_batch_sweep(
+                pipes, part.db, block_residues=block_residues
+            )
+            for q, (result, _phase_counts) in enumerate(outcomes):
+                # Partition-local ids map monotonically to global ids, so
+                # the per-node sorted order survives the remap and the
+                # head's k-way merge stays valid.
+                per_node[q].append(
+                    [
+                        dataclasses.replace(a, seq_id=part.to_global(a.seq_id))
+                        for a in result.alignments
+                    ]
+                )
+                for key in counts[q]:
+                    counts[q][key] += getattr(result, key)
+        results = []
+        for q, c in enumerate(compiled):
+            merged = cls._merge(per_node[q], c.params.max_alignments)
+            results.append(
+                SearchResult(
+                    query_length=int(c.query_codes.size),
+                    db_sequences=len(db),
+                    db_residues=full_residues,
+                    alignments=merged,
+                    num_hits=counts[q]["num_hits"],
+                    num_seeds=counts[q]["num_seeds"],
+                    num_ungapped_extensions=counts[q]["num_ungapped_extensions"],
+                    num_gapped_extensions=counts[q]["num_gapped_extensions"],
+                    num_reported=len(merged),
+                )
+            )
+        return results

@@ -14,12 +14,20 @@ from repro.core.hits import HitArray, diagonal_of
 from repro.core.pipeline import BlastpPipeline, PhaseCounts
 from repro.core.results import Alignment, SearchResult, UngappedExtension
 from repro.core.statistics import SearchParams, resolve_cutoffs
+from repro.core.sweep import (
+    DEFAULT_BLOCK_RESIDUES,
+    num_sweep_blocks,
+    search_batch_sweep,
+    sweep_extend_block,
+    sweep_finish,
+)
 from repro.core.traceback import TracebackAlignment, traceback_align
 from repro.core.two_hit import select_seeds_and_extend
 from repro.core.ungapped import ungapped_extend
 
 __all__ = [
     "Alignment",
+    "DEFAULT_BLOCK_RESIDUES",
     "BlastpPipeline",
     "DatabaseHits",
     "GappedExtension",
@@ -32,8 +40,12 @@ __all__ = [
     "detect_hits",
     "diagonal_of",
     "gapped_extend",
+    "num_sweep_blocks",
     "resolve_cutoffs",
+    "search_batch_sweep",
     "select_seeds_and_extend",
+    "sweep_extend_block",
+    "sweep_finish",
     "traceback_align",
     "ungapped_extend",
 ]

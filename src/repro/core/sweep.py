@@ -1,0 +1,243 @@
+"""Batched database sweep: one blocked pass serves an entire query batch.
+
+Per-query search costs ``O(queries x database)`` passes over the subject
+codes. This driver inverts the loop: the database is streamed once in
+residue-balanced blocks (:meth:`~repro.io.database.SequenceDatabase.blocks`),
+each block is swept through a :class:`~repro.seeding.multi_query.MultiQueryIndex`
+(one word-index pass for the whole batch), and the query-tagged hit stream
+is untagged into per-query two-hit seeding + ungapped extension *inside the
+block*. Only the surviving extensions — thousands, not the millions of raw
+hits — accumulate across blocks; gapped extension and traceback then run
+per query exactly as the per-query pipeline does.
+
+Why this is result-identical to per-query search (the conformance
+argument, enforced by the verify matrix's ``cublastp-batched`` variants
+and the property suite):
+
+* hit detection — the sweep produces, per query, the same hit multiset as
+  :func:`~repro.core.hit_detection.detect_hits`;
+* two-hit + ungapped extension — blocks split on sequence boundaries, and
+  :func:`~repro.core.two_hit.select_seeds_and_extend` groups by
+  ``(seq_id, diagonal)`` after a global ``seq_id``-major lexsort; since no
+  group straddles a block and blocks ascend in ``seq_id``, the per-block
+  extension lists concatenated in block order equal the one-shot list;
+* gapped extension onward — runs on the accumulated extension list with
+  the same cutoffs (statistics are resolved against the *whole* database,
+  never a block), through the same phase methods.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.pipeline import BlastpPipeline, PhaseCounts
+from repro.core.results import SearchResult, UngappedExtension
+from repro.io.database import SequenceDatabase
+from repro.seeding.multi_query import MultiQueryIndex
+
+if TYPE_CHECKING:
+    from repro.core.statistics import Cutoffs
+    from repro.engine.events import EventLog
+
+#: Default residues per sweep block. Small enough that one block's tagged
+#: hits for a large batch stay tens of MB; large enough that the per-block
+#: fixed costs (word indexing setup, per-query untag) amortise.
+DEFAULT_BLOCK_RESIDUES = 50_000
+
+
+def num_sweep_blocks(db: SequenceDatabase, block_residues: int | None = None) -> int:
+    """Block count giving roughly ``block_residues`` residues per block."""
+    target = DEFAULT_BLOCK_RESIDUES if block_residues is None else block_residues
+    if target < 1:
+        raise ValueError("block_residues must be positive")
+    return max(1, min(len(db), round(int(db.codes.size) / target)))
+
+
+def sweep_extend_block(
+    index: MultiQueryIndex,
+    pipelines: Sequence[BlastpPipeline],
+    block: SequenceDatabase,
+    cutoffs: "Sequence[Cutoffs]",
+    seq_id_base: int = 0,
+) -> tuple[list[list[UngappedExtension]], list[int], list[int]]:
+    """Sweep one block and run block-local phase 2 for every query.
+
+    Returns per-query ``(extensions, num_hits, num_seeds)`` — extensions
+    carry global sequence ids (``seq_id_base`` rebases the block-local
+    ids), so accumulating them across blocks needs no further translation.
+
+    Subject coordinates inside an extension are sequence-local, so only
+    the sequence id needs rebasing.
+    """
+    tagged = index.sweep_block(block)
+    extensions: list[list[UngappedExtension]] = []
+    num_hits: list[int] = []
+    num_seeds: list[int] = []
+    for q, pipe in enumerate(pipelines):
+        hits_q = int(tagged.per_query[q])
+        num_hits.append(hits_q)
+        if hits_q == 0:
+            extensions.append([])
+            num_seeds.append(0)
+            continue
+        exts, seeds = pipe.phase_ungapped_hits(index.untag(tagged, q), block, cutoffs[q])
+        if seq_id_base:
+            exts = [
+                dataclasses.replace(e, seq_id=e.seq_id + seq_id_base) for e in exts
+            ]
+        extensions.append(exts)
+        num_seeds.append(seeds)
+    return extensions, num_hits, num_seeds
+
+
+def sweep_finish(
+    pipe: BlastpPipeline,
+    db: SequenceDatabase,
+    extensions: list[UngappedExtension],
+    num_hits: int,
+    num_seeds: int,
+    cutoffs: "Cutoffs",
+    *,
+    engine_name: str | None = None,
+    events: "EventLog | None" = None,
+) -> tuple[SearchResult, PhaseCounts]:
+    """Phases 3+4 for one query, from its accumulated extension list.
+
+    This is the tail of :meth:`BlastpPipeline.search_with_counts` with the
+    first two phases already paid by the sweep; the result assembly is
+    identical field for field.
+    """
+    name = engine_name or pipe.name
+
+    def phase(phase_name: str):
+        if events is None:
+            return nullcontext({})
+        return events.phase(name, phase_name, query_id=pipe.query_id)
+
+    if pipe.params.ungapped_only:
+        gapped, num_triggers = [], 0
+        with phase("final_alignment") as ev:
+            alignments = pipe.phase_ungapped_report(extensions, db, cutoffs)
+            ev["work_items"] = len(alignments)
+    else:
+        with phase("gapped_extension") as ev:
+            gapped, num_triggers = pipe.phase_gapped(extensions, db, cutoffs)
+            ev["work_items"] = len(gapped)
+        with phase("final_alignment") as ev:
+            alignments = pipe.phase_traceback(gapped, db, cutoffs)
+            ev["work_items"] = len(alignments)
+    counts = PhaseCounts(
+        num_hits=num_hits,
+        num_seeds=num_seeds,
+        num_ungapped_extensions=len(extensions),
+        num_gapped_triggers=num_triggers,
+        num_gapped_extensions=len(gapped),
+        num_traceback=len(gapped),
+        num_reported=len(alignments),
+    )
+    result = SearchResult(
+        query_length=pipe.query_length,
+        db_sequences=len(db),
+        db_residues=int(db.codes.size),
+        alignments=alignments,
+        num_hits=counts.num_hits,
+        num_seeds=counts.num_seeds,
+        num_ungapped_extensions=counts.num_ungapped_extensions,
+        num_gapped_extensions=counts.num_gapped_extensions,
+        num_reported=counts.num_reported,
+    )
+    return result, counts
+
+
+def search_batch_sweep(
+    pipelines: Sequence[BlastpPipeline],
+    db: SequenceDatabase,
+    *,
+    block_residues: int | None = None,
+    blocks: Sequence[SequenceDatabase] | None = None,
+    engine_name: str | None = None,
+    events: "EventLog | None" = None,
+) -> list[tuple[SearchResult, PhaseCounts]]:
+    """Run the whole batch through one blocked database sweep.
+
+    Parameters
+    ----------
+    pipelines:
+        One *bound* :class:`BlastpPipeline` per batch query (each carries
+        its compiled query and ``query_id``).
+    db:
+        The full database (cutoff statistics are resolved against it).
+    block_residues:
+        Target residues per block (default
+        :data:`DEFAULT_BLOCK_RESIDUES`); ignored when ``blocks`` is given.
+    blocks:
+        Pre-cut contiguous blocks of ``db`` (e.g. the store's cached
+        partition, :meth:`~repro.io.store.DatabaseStore.blocks`); each
+        must be a :class:`~repro.io.database.DatabaseView` of ``db`` in
+        ascending order — exactly what ``db.blocks(n)`` yields.
+    engine_name:
+        Name phase events are emitted under (default: the pipelines').
+    events:
+        Optional event log; the sweep emits ``hit_detection`` /
+        ``ungapped_extension`` pairs per block (batch-scoped, they sum in
+        ``wall_breakdown``) and per-query ``gapped_extension`` /
+        ``final_alignment`` pairs.
+    """
+    if not pipelines:
+        return []
+    index = MultiQueryIndex.from_compiled([p.compiled for p in pipelines])
+    name = engine_name or pipelines[0].name
+
+    def phase(phase_name: str, query_id: str | None = None):
+        if events is None:
+            return nullcontext({})
+        return events.phase(name, phase_name, query_id=query_id)
+
+    cutoffs = [pipe.cutoffs(db) for pipe in pipelines]
+    if blocks is None:
+        blocks = db.blocks(num_sweep_blocks(db, block_residues))
+    n_queries = len(pipelines)
+    all_extensions: list[list[UngappedExtension]] = [[] for _ in range(n_queries)]
+    total_hits = [0] * n_queries
+    total_seeds = [0] * n_queries
+    # Blocks of a view collapse onto the root parent, so their ``start``
+    # is in root coordinates; rebase relative to ``db``'s own origin.
+    db_start = getattr(db, "start", 0)
+    for block in blocks:
+        base = getattr(block, "start", db_start) - db_start
+        with phase("hit_detection") as ev:
+            tagged = index.sweep_block(block)
+            ev["work_items"] = len(tagged)
+        with phase("ungapped_extension") as ev:
+            block_ext = 0
+            for q, pipe in enumerate(pipelines):
+                hits_q = int(tagged.per_query[q])
+                total_hits[q] += hits_q
+                if hits_q == 0:
+                    continue
+                exts, seeds = pipe.phase_ungapped_hits(
+                    index.untag(tagged, q), block, cutoffs[q]
+                )
+                if base:
+                    exts = [
+                        dataclasses.replace(e, seq_id=e.seq_id + base) for e in exts
+                    ]
+                all_extensions[q].extend(exts)
+                total_seeds[q] += seeds
+                block_ext += len(exts)
+            ev["work_items"] = block_ext
+    return [
+        sweep_finish(
+            pipe,
+            db,
+            all_extensions[q],
+            total_hits[q],
+            total_seeds[q],
+            cutoffs[q],
+            engine_name=name,
+            events=events,
+        )
+        for q, pipe in enumerate(pipelines)
+    ]

@@ -29,6 +29,7 @@ from repro.engine.executor import BatchExecutor, QueryOutcome
 from repro.engine.procpool import (
     EngineSpec,
     ProcessPool,
+    SweepBlockSpec,
     RemoteTaskError,
     WorkerCrashError,
     database_path_for_workers,
@@ -36,14 +37,17 @@ from repro.engine.procpool import (
 from repro.engine.protocol import (
     CUBLASTP_STRATEGY_NAMES,
     ENGINE_NAMES,
+    BatchEngine,
     Engine,
     ReportingEngine,
     make_engine,
+    run_search_batch,
 )
 
 __all__ = [
     "CUBLASTP_STRATEGY_NAMES",
     "ENGINE_NAMES",
+    "BatchEngine",
     "BatchExecutor",
     "CompiledQuery",
     "Engine",
@@ -55,9 +59,11 @@ __all__ = [
     "QueryOutcome",
     "RemoteTaskError",
     "ReportingEngine",
+    "SweepBlockSpec",
     "WorkerCrashError",
     "compile_query",
     "compile_signature",
     "database_path_for_workers",
     "make_engine",
+    "run_search_batch",
 ]

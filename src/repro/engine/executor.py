@@ -126,10 +126,34 @@ class BatchExecutor:
         :class:`~repro.io.store.DatabaseStore` used to resolve database
         *paths* passed to :meth:`stream` / :meth:`run` (defaults to the
         process-wide store).
+    mode:
+        ``"per-query"`` (default): each worker owns whole queries.
+        ``"db-sweep"``: the batch-first inversion — the whole batch is
+        compiled up front, hit detection makes *one* blocked pass over
+        the database through a merged
+        :class:`~repro.seeding.multi_query.MultiQueryIndex`, and under
+        the process backend workers own database *blocks* instead of
+        queries (query-tagged extension streams merge across chunks
+        before gapped extension). Results are identical to per-query
+        mode, outcome for outcome; error isolation is coarser — a
+        failure during the shared sweep fails the whole batch (compile
+        errors stay per-query).
+    clamp_jobs:
+        Cap process-backend ``jobs`` at ``os.cpu_count()`` (default on).
+        Extra worker processes on an oversubscribed host only multiply
+        engine builds and database mappings; the requested value stays
+        readable as :attr:`requested_jobs` and benchmarks record the
+        clamp.
+    block_residues:
+        Target residues per sweep block (db-sweep mode; default
+        :data:`~repro.core.sweep.DEFAULT_BLOCK_RESIDUES`).
     """
 
     #: Execution backends ``backend`` accepts.
     BACKENDS = ("thread", "process")
+
+    #: Scheduling modes ``mode`` accepts.
+    MODES = ("per-query", "db-sweep")
 
     def __init__(
         self,
@@ -145,6 +169,9 @@ class BatchExecutor:
         chunk_size: int | None = None,
         mp_context: str | None = None,
         spec: Any | None = None,
+        mode: str = "per-query",
+        clamp_jobs: bool = True,
+        block_residues: int | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
@@ -152,6 +179,17 @@ class BatchExecutor:
             raise ValueError(
                 f"unknown backend {backend!r} (choose from {', '.join(self.BACKENDS)})"
             )
+        if mode not in self.MODES:
+            raise ValueError(
+                f"unknown mode {mode!r} (choose from {', '.join(self.MODES)})"
+            )
+        if block_residues is not None and block_residues < 1:
+            raise ValueError("block_residues must be positive")
+        self.requested_jobs = jobs
+        if backend == "process" and clamp_jobs:
+            import os
+
+            jobs = max(1, min(jobs, os.cpu_count() or 1))
         if max_in_flight is not None and max_in_flight < jobs:
             raise ValueError("max_in_flight must be >= jobs")
         if chunk_size is not None and chunk_size < 1:
@@ -159,6 +197,8 @@ class BatchExecutor:
         self.engine = engine if engine is not None else make_engine("cublastp", events=events)
         self.jobs = jobs
         self.backend = backend
+        self.mode = mode
+        self.block_residues = block_residues
         self.max_in_flight = max_in_flight if max_in_flight is not None else 2 * jobs
         self.cache = cache
         self.collect_reports = collect_reports
@@ -167,6 +207,11 @@ class BatchExecutor:
         self.chunk_size = chunk_size if chunk_size is not None else 1
         self.mp_context = mp_context
         self.spec = spec
+
+    @property
+    def jobs_clamped(self) -> bool:
+        """Whether the host's core count reduced the requested jobs."""
+        return self.jobs < self.requested_jobs
 
     def _resolve_db(self, db: "DatabaseLike") -> "SequenceDatabase":
         """Pass databases through; open paths via the (default) store."""
@@ -213,6 +258,12 @@ class BatchExecutor:
         submission: at most :attr:`max_in_flight` queries are in flight
         ahead of the consumer.
         """
+        if self.mode == "db-sweep":
+            if self.backend == "process":
+                yield from self._stream_sweep_process(queries, db)
+            else:
+                yield from self._stream_sweep(queries, db)
+            return
         if self.backend == "process":
             yield from self._stream_process(queries, db)
             return
@@ -234,6 +285,183 @@ class BatchExecutor:
                 yield pending.popleft().result()
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- db-sweep mode -----------------------------------------------------
+
+    def _compile_batch(
+        self, queries: Iterable[tuple[str, str]]
+    ) -> tuple[list[tuple[int, str, str, CompiledQuery, bool]], list[QueryOutcome]]:
+        """Compile the whole batch up front, isolating per-query failures.
+
+        Sweep modes share one database pass, so a query that cannot even
+        compile must be excluded *before* the sweep (under the process
+        backend it would otherwise crash every worker's ``setup``).
+        Returns the good ``(index, query_id, sequence, compiled,
+        cache_hit)`` entries plus ready-made error outcomes for the rest.
+        """
+        good: list[tuple[int, str, str, CompiledQuery, bool]] = []
+        failed: list[QueryOutcome] = []
+        for index, (query_id, sequence) in enumerate(queries):
+            try:
+                compiled, cache_hit = self._compile(sequence)
+            except Exception as exc:
+                failed.append(QueryOutcome(index, query_id, error=exc))
+                continue
+            good.append((index, query_id, sequence, compiled, cache_hit))
+        return good, failed
+
+    def _sweep_blocks(
+        self, db: "DatabaseLike", resolved: "SequenceDatabase"
+    ) -> "tuple[int, list[SequenceDatabase] | None]":
+        """Block count plus (when ``db`` is a path) the store's cached cut."""
+        from repro.core.sweep import num_sweep_blocks
+
+        num_blocks = num_sweep_blocks(resolved, self.block_residues)
+        if isinstance(db, (str, Path)) and self.store is not None:
+            return num_blocks, self.store.blocks(db, num_blocks)
+        return num_blocks, None
+
+    def _stream_sweep(
+        self, queries: Iterable[tuple[str, str]], db: "DatabaseLike"
+    ) -> Iterator[QueryOutcome]:
+        """In-process db-sweep: one blocked pass serves the whole batch.
+
+        The sweep itself is a single pass (``jobs`` does not fan it out —
+        use the process backend for block-parallel sweeping); what it buys
+        in-process is hit detection amortised across the batch through the
+        merged multi-query index.
+        """
+        from repro.engine.protocol import run_search_batch
+
+        good, failed = self._compile_batch(queries)
+        resolved = self._resolve_db(db)
+        outcomes: dict[int, QueryOutcome] = {o.index: o for o in failed}
+        if good:
+            _num_blocks, blocks = self._sweep_blocks(db, resolved)
+            try:
+                results = run_search_batch(
+                    self.engine,
+                    [compiled for _, _, _, compiled, _ in good],
+                    resolved,
+                    [query_id for _, query_id, _, _, _ in good],
+                    blocks=blocks,
+                )
+            except Exception as exc:
+                # Coarse isolation: the pass is shared, so a sweep failure
+                # is every query's failure.
+                for index, query_id, _, _, _ in good:
+                    outcomes[index] = QueryOutcome(index, query_id, error=exc)
+            else:
+                for (index, query_id, _, _, cache_hit), result in zip(good, results):
+                    outcomes[index] = QueryOutcome(
+                        index, query_id, result=result, cache_hit=cache_hit
+                    )
+        for index in sorted(outcomes):
+            yield outcomes[index]
+
+    def _stream_sweep_process(
+        self, queries: Iterable[tuple[str, str]], db: "DatabaseLike"
+    ) -> Iterator[QueryOutcome]:
+        """Process-backend db-sweep: workers own database blocks.
+
+        The ownership inversion of :meth:`_stream_process` — each task is
+        a *block index*, not a query. Workers sweep their blocks for the
+        whole batch and ship back only the per-query surviving extensions
+        (plain int lists); the parent merges them in block order — which
+        the two-hit lexsort makes equal to the one-shot extension list —
+        and finishes gapped extension + traceback per query locally.
+        """
+        from repro.core.pipeline import BlastpPipeline
+        from repro.core.results import UngappedExtension
+        from repro.core.sweep import num_sweep_blocks, sweep_finish
+        from repro.engine.procpool import (
+            EngineSpec,
+            ProcessPool,
+            SweepBlockSpec,
+            database_path_for_workers,
+        )
+
+        good, failed = self._compile_batch(queries)
+        outcomes: dict[int, QueryOutcome] = {o.index: o for o in failed}
+        if not good:
+            for index in sorted(outcomes):
+                yield outcomes[index]
+            return
+        engine_spec = self.spec or EngineSpec.from_engine(self.engine)
+        resolved = self._resolve_db(db)
+        num_blocks = num_sweep_blocks(resolved, self.block_residues)
+        db_path, cleanup = database_path_for_workers(db, store=self.store)
+        task_spec = SweepBlockSpec(
+            engine=engine_spec,
+            db_path=str(db_path),
+            queries=tuple((query_id, sequence) for _, query_id, sequence, _, _ in good),
+            num_blocks=num_blocks,
+        )
+        pool = ProcessPool(task_spec, jobs=self.jobs, mp_context=self.mp_context)
+        n = len(good)
+        extensions: list[list[UngappedExtension]] = [[] for _ in range(n)]
+        total_hits = [0] * n
+        total_seeds = [0] * n
+        sweep_error: Exception | None = None
+        engine_name = getattr(self.engine, "name", engine_spec.name)
+        try:
+            for _block, payload, error in pool.run(
+                range(num_blocks),
+                chunk_size=self.chunk_size,
+                max_in_flight_chunks=max(self.max_in_flight, self.jobs),
+            ):
+                if error is not None:
+                    # One lost block loses every query's hits in it: the
+                    # whole batch fails rather than silently under-report.
+                    sweep_error = error
+                    break
+                for q in range(n):
+                    total_hits[q] += payload["num_hits"][q]
+                    total_seeds[q] += payload["num_seeds"][q]
+                    extensions[q].extend(
+                        UngappedExtension(s, qs, qe, ss, se, score)
+                        for s, qs, qe, ss, se, score in payload["extensions"][q]
+                    )
+                if self.events is not None:
+                    # Worker-timed sweep: the worker already paired the
+                    # phases; the parent records the closing edge with the
+                    # measured wall.
+                    self.events.emit(  # reprolint: disable=event-begin-end-pairing
+                        engine_name,
+                        "db_sweep_block",
+                        "end",
+                        work_items=sum(len(payload["extensions"][q]) for q in range(n)),
+                        wall_ms=payload["wall_ms"],
+                    )
+        finally:
+            pool.shutdown()
+            if cleanup is not None:
+                cleanup()
+        if sweep_error is not None:
+            for index, query_id, _, _, _ in good:
+                outcomes[index] = QueryOutcome(index, query_id, error=sweep_error)
+        else:
+            for q, (index, query_id, _, compiled, cache_hit) in enumerate(good):
+                try:
+                    pipe = BlastpPipeline(compiled, query_id=query_id)
+                    result, _counts = sweep_finish(
+                        pipe,
+                        resolved,
+                        extensions[q],
+                        total_hits[q],
+                        total_seeds[q],
+                        pipe.cutoffs(resolved),
+                        engine_name=engine_name,
+                        events=self.events,
+                    )
+                except Exception as exc:
+                    outcomes[index] = QueryOutcome(index, query_id, error=exc)
+                else:
+                    outcomes[index] = QueryOutcome(
+                        index, query_id, result=result, cache_hit=cache_hit
+                    )
+        for index in sorted(outcomes):
+            yield outcomes[index]
 
     def _stream_process(
         self, queries: Iterable[tuple[str, str]], db: "DatabaseLike"

@@ -241,6 +241,89 @@ class QueryTaskSpec:
         return payload
 
 
+@dataclass
+class _SweepWorkerState:
+    pipelines: list
+    index: Any
+    cutoffs: list
+    blocks: list
+    block_starts: list
+
+
+@dataclass(frozen=True)
+class SweepBlockSpec:
+    """One-database-block-per-task work: the db-sweep executor mode.
+
+    The inversion of :class:`QueryTaskSpec`'s ownership model: workers own
+    *database blocks* instead of whole queries. ``setup`` compiles every
+    query of the batch once, merges their neighbourhoods into one
+    :class:`~repro.seeding.multi_query.MultiQueryIndex`, maps the database
+    and cuts the same residue-balanced blocks the parent scheduled
+    (block bounds are deterministic, so head and workers agree). ``run``
+    takes a block index, sweeps that block for the whole batch, runs
+    block-local two-hit + ungapped extension per query, and returns only
+    the surviving extensions — plain int lists, a few KB per block,
+    instead of the block's millions of raw hits. The parent merges the
+    tagged streams across chunks in block order and finishes gapped
+    extension + traceback per query.
+
+    Every field is a picklable builtin or a registry dataclass — the
+    ``picklable-spec-fields`` lint rule keeps it that way by construction.
+    """
+
+    engine: EngineSpec
+    db_path: str
+    #: The whole batch: ``(query_id, sequence)`` pairs, in batch order.
+    queries: tuple
+    num_blocks: int
+    mmap: bool = True
+
+    def setup(self) -> _SweepWorkerState:
+        from repro.core.pipeline import BlastpPipeline
+        from repro.io.database import SequenceDatabase
+        from repro.seeding.multi_query import MultiQueryIndex
+
+        engine = self.engine.build()
+        db = SequenceDatabase.load(self.db_path, mmap=self.mmap)
+        pipelines = [
+            BlastpPipeline(engine.compile(sequence), query_id=query_id)
+            for query_id, sequence in self.queries
+        ]
+        index = MultiQueryIndex.from_compiled([p.compiled for p in pipelines])
+        # Cutoff statistics against the whole database — identical to the
+        # per-query path; blocks never enter the statistics.
+        cutoffs = [p.cutoffs(db) for p in pipelines]
+        blocks = db.blocks(self.num_blocks)
+        block_starts = [getattr(b, "start", 0) for b in blocks]
+        return _SweepWorkerState(pipelines, index, cutoffs, blocks, block_starts)
+
+    def run(self, state: _SweepWorkerState, block_index: int) -> dict:
+        from repro.core.sweep import sweep_extend_block
+
+        t0 = time.perf_counter()
+        extensions, num_hits, num_seeds = sweep_extend_block(
+            state.index,
+            state.pipelines,
+            state.blocks[block_index],
+            state.cutoffs,
+            seq_id_base=state.block_starts[block_index],
+        )
+        return {
+            "block": block_index,
+            "num_hits": [int(n) for n in num_hits],
+            "num_seeds": [int(n) for n in num_seeds],
+            "extensions": [
+                [
+                    [e.seq_id, e.query_start, e.query_end,
+                     e.subject_start, e.subject_end, e.score]
+                    for e in per_query
+                ]
+                for per_query in extensions
+            ],
+            "wall_ms": (time.perf_counter() - t0) * 1e3,
+        }
+
+
 @dataclass(frozen=True)
 class ClusterNodeSpec:
     """One-node-per-task work for :class:`~repro.cluster.multi_gpu.MultiGpuBlastp`.
@@ -363,6 +446,12 @@ class ProcessPool:
         Crash budget per worker slot; past it the slot stays dead (and if
         every slot dies, remaining tasks fail with
         :class:`WorkerCrashError` instead of hanging).
+    clamp_jobs:
+        Cap ``jobs`` at ``os.cpu_count()``. Worker processes beyond the
+        core count cannot run concurrently — they only multiply engine
+        builds and database mappings (the jobs=4-on-1-core regression the
+        throughput benchmark recorded). The requested value stays
+        readable as :attr:`requested_jobs`.
     """
 
     def __init__(
@@ -372,10 +461,14 @@ class ProcessPool:
         *,
         mp_context: str | None = None,
         max_respawns: int = 2,
+        clamp_jobs: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
         self.spec = spec
+        self.requested_jobs = jobs
+        if clamp_jobs:
+            jobs = max(1, min(jobs, os.cpu_count() or 1))
         self.jobs = jobs
         self.ctx = multiprocessing.get_context(mp_context or default_start_method())
         self.max_respawns = max_respawns

@@ -101,6 +101,7 @@ class DatabaseStore:
         self._resident: OrderedDict[str, SequenceDatabase] = OrderedDict()
         self._pinned: dict[str, SequenceDatabase] = {}
         self._shards: dict[tuple[str, int, bool], list] = {}
+        self._blocks: dict[tuple[str, int], list] = {}
 
     # -- keys --------------------------------------------------------------
 
@@ -198,6 +199,7 @@ class DatabaseStore:
             self._resident.clear()
             self._pinned.clear()
             self._shards.clear()
+            self._blocks.clear()
 
     # -- sharding ----------------------------------------------------------
 
@@ -242,10 +244,35 @@ class DatabaseStore:
             self._shards[cache_key] = parts
         return parts
 
+    # -- sweep blocks ------------------------------------------------------
+
+    def blocks(self, path, num_blocks: int) -> list[SequenceDatabase]:
+        """The residue-balanced block partition of the database at ``path``.
+
+        The db-sweep executor cuts the same blocks for every batch against
+        a database; caching the cut per ``(database, num_blocks)`` means
+        successive batches share one list of zero-copy views, alongside
+        the residency entry (dropped together on eviction).
+        """
+        db = self.resolve(path)
+        name = str(path)
+        key = name if name in self._pinned else self._key_for(path)
+        cache_key = (key, num_blocks)
+        with self._lock:
+            cached = self._blocks.get(cache_key)
+        if cached is not None:
+            return cached
+        cut = db.blocks(num_blocks)
+        with self._lock:
+            self._blocks[cache_key] = cut
+        return cut
+
     def _drop_shards(self, key: str) -> None:
         # Caller holds the lock.
         for cache_key in [k for k in self._shards if k[0] == key]:
             del self._shards[cache_key]
+        for cache_key in [k for k in self._blocks if k[0] == key]:
+            del self._blocks[cache_key]
 
 
 _DEFAULT_STORE: DatabaseStore | None = None

@@ -15,6 +15,7 @@ yield byte-identical hits; tests enforce this equivalence.
 """
 
 from repro.seeding.dfa import QueryDFA
+from repro.seeding.multi_query import MultiQueryIndex, TaggedHits
 from repro.seeding.seg import masked_fraction, seg_mask, window_entropy
 from repro.seeding.lookup import WordLookupTable
 from repro.seeding.words import (
@@ -30,8 +31,10 @@ from repro.seeding.words import (
 __all__ = [
     "DEFAULT_THRESHOLD",
     "DEFAULT_WORD_LENGTH",
+    "MultiQueryIndex",
     "Neighborhood",
     "QueryDFA",
+    "TaggedHits",
     "WordLookupTable",
     "all_words",
     "build_neighborhood",

@@ -22,6 +22,15 @@ and database reach it:
     database crosses to warm workers via a spilled binary file, results
     come back as canonical-form payloads — the whole
     :mod:`~repro.engine.procpool` marshalling story must be lossless.
+``sweep``
+    The duplicated-query batch in the executor's ``db-sweep`` mode: the
+    inverted, batch-first dataflow (one blocked database pass through a
+    merged :class:`~repro.seeding.multi_query.MultiQueryIndex`) must be
+    result-identical to per-query search.
+``sweep-process``
+    Same inversion under the process backend, where workers own database
+    *blocks* and ship back query-tagged extension streams — the merge in
+    block order must reconstruct the per-query results exactly.
 
 :func:`default_matrix` is the full implementation-under-test list; the
 ``reference`` pipeline (:data:`ORACLE_NAME`) is the oracle it is checked
@@ -50,7 +59,7 @@ if TYPE_CHECKING:
 ORACLE_NAME = "reference"
 
 #: Execution paths a variant may route through.
-PATHS = ("direct", "view", "mmap", "batch", "process")
+PATHS = ("direct", "view", "mmap", "batch", "process", "sweep", "sweep-process")
 
 
 @dataclass(frozen=True)
@@ -90,9 +99,12 @@ class EngineVariant:
                 case.db.save(path)
                 db = SequenceDatabase.load(path, mmap=True)
                 return engine.run(engine.compile(case.query), db)
-        if self.path in ("batch", "process"):
-            backend = "thread" if self.path == "batch" else "process"
-            return _run_batched(engine, case.query_id, case.query, case.db, backend)
+        if self.path in ("batch", "process", "sweep", "sweep-process"):
+            backend = "process" if self.path in ("process", "sweep-process") else "thread"
+            mode = "db-sweep" if self.path.startswith("sweep") else "per-query"
+            return _run_batched(
+                engine, case.query_id, case.query, case.db, backend, mode=mode
+            )
         if self.path == "view":
             db: "SequenceDatabase" = case.db.view(0, len(case.db))
         elif self.path == "direct":
@@ -108,13 +120,16 @@ def _run_batched(
     query: str,
     db: "SequenceDatabase",
     backend: str = "thread",
+    mode: str = "per-query",
 ) -> "SearchResult":
     """Run the query twice through an executor; both copies must agree
     with each other (a scheduling-sensitivity check local to this path)
     and the first is returned for the oracle comparison."""
     from repro.verify.canonical import results_equal
 
-    executor = BatchExecutor(engine, jobs=2, backend=backend, collect_reports=False)
+    executor = BatchExecutor(
+        engine, jobs=2, backend=backend, mode=mode, collect_reports=False
+    )
     outcomes = list(
         executor.stream([(query_id, query), (f"{query_id}+dup", query)], db)
     )
@@ -145,6 +160,8 @@ DEFAULT_VARIANTS: tuple[EngineVariant, ...] = (
     EngineVariant("cublastp-batch", "cublastp", path="batch"),
     EngineVariant("cublastp-process", "cublastp", path="process"),
     EngineVariant("cublastp-sanitize", "cublastp", sanitize=True),
+    EngineVariant("cublastp-batched", "cublastp", path="sweep"),
+    EngineVariant("cublastp-batched-process", "cublastp", path="sweep-process"),
 )
 
 #: Variant names accepted by ``repro verify --engines``.

@@ -1,9 +1,21 @@
 """Fixture: triggers exactly ``picklable-spec-fields``."""
 
+from typing import Callable
+
 
 class TaskSpec:
     transform = lambda x: x  # noqa: E731
+    # An annotation promising an unpicklable value is a contract violation
+    # even without a default.
+    on_done: Callable[[], None]
+    blocks: "Iterator[int]"
 
 
 def build():
     return TaskSpec(setup=lambda: object())
+
+
+def build_sweep(queries):
+    # A bare generator stored on a spec dies at first pickle; tuple(...)
+    # at the call site is the fix (and is not flagged).
+    return TaskSpec(queries=(q for q in queries))

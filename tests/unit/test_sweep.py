@@ -1,0 +1,179 @@
+"""Unit tests for db-sweep batch mode: driver, executor, store blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BlastpPipeline
+from repro.core.sweep import DEFAULT_BLOCK_RESIDUES, num_sweep_blocks, search_batch_sweep
+from repro.engine.executor import BatchExecutor
+from repro.engine.protocol import BatchEngine, make_engine, run_search_batch
+from repro.io import generate_query
+from repro.io.store import DatabaseStore
+
+
+@pytest.fixture(scope="module")
+def batch_queries(tiny_spec):
+    return [
+        (f"q{i}", generate_query(n, tiny_spec))
+        for i, n in enumerate((64, 120, 200))
+    ]
+
+
+@pytest.fixture(scope="module")
+def per_query_results(batch_queries, tiny_db, tiny_params):
+    engine = make_engine("cublastp", tiny_params)
+    return [
+        engine.run(engine.compile(q), tiny_db, query_id=qid)
+        for qid, q in batch_queries
+    ]
+
+
+class TestSweepDriver:
+    def test_matches_per_query_results(
+        self, batch_queries, tiny_db, tiny_params, per_query_results
+    ):
+        pipes = [
+            BlastpPipeline(q, tiny_params, query_id=qid) for qid, q in batch_queries
+        ]
+        outcomes = search_batch_sweep(pipes, tiny_db, block_residues=400)
+        assert len(outcomes) == len(batch_queries)
+        for (result, counts), expected in zip(outcomes, per_query_results):
+            assert result == expected
+            assert counts.num_hits == expected.num_hits
+            assert counts.num_seeds == expected.num_seeds
+
+    def test_empty_batch(self, tiny_db):
+        assert search_batch_sweep([], tiny_db) == []
+
+    def test_num_sweep_blocks(self, tiny_db):
+        assert num_sweep_blocks(tiny_db) >= 1
+        assert num_sweep_blocks(tiny_db, 1) == len(tiny_db)
+        big = num_sweep_blocks(tiny_db, 10)
+        assert big <= len(tiny_db)
+        with pytest.raises(ValueError):
+            num_sweep_blocks(tiny_db, 0)
+        assert DEFAULT_BLOCK_RESIDUES > 0
+
+    def test_engine_search_batch_protocol(self, batch_queries, tiny_db, tiny_params, per_query_results):
+        engine = make_engine("cublastp", tiny_params)
+        assert isinstance(engine, BatchEngine)
+        compiled = [engine.compile(q) for _, q in batch_queries]
+        results = run_search_batch(engine, compiled, tiny_db, [qid for qid, _ in batch_queries])
+        assert results == per_query_results
+
+    def test_fallback_engine_without_search_batch(self, batch_queries, tiny_db, tiny_params, per_query_results):
+        engine = make_engine("fsa", tiny_params)
+        assert not isinstance(engine, BatchEngine)
+        compiled = [engine.compile(q) for _, q in batch_queries]
+        results = run_search_batch(engine, compiled, tiny_db, [qid for qid, _ in batch_queries])
+        for got, expected in zip(results, per_query_results):
+            assert got.alignments == expected.alignments
+
+    def test_query_id_alignment_checked(self, batch_queries, tiny_db, tiny_params):
+        engine = make_engine("cublastp", tiny_params)
+        compiled = [engine.compile(q) for _, q in batch_queries]
+        with pytest.raises(ValueError, match="align"):
+            run_search_batch(engine, compiled, tiny_db, ["only-one"])
+
+
+class TestExecutorSweepMode:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            BatchExecutor(mode="turbo")
+
+    def test_bad_block_residues_rejected(self):
+        with pytest.raises(ValueError):
+            BatchExecutor(mode="db-sweep", block_residues=0)
+
+    def test_thread_sweep_matches_per_query(
+        self, batch_queries, tiny_db, tiny_params, per_query_results
+    ):
+        ex = BatchExecutor(
+            make_engine("cublastp", tiny_params), mode="db-sweep", block_residues=400
+        )
+        records = ex.run(batch_queries, tiny_db).records
+        assert [r.ok for r in records] == [True] * len(batch_queries)
+        assert [r.result for r in records] == per_query_results
+        assert [r.query_id for r in records] == [qid for qid, _ in batch_queries]
+
+    def test_process_sweep_matches_per_query(
+        self, batch_queries, tiny_db, tiny_params, per_query_results
+    ):
+        ex = BatchExecutor(
+            make_engine("cublastp", tiny_params),
+            mode="db-sweep",
+            backend="process",
+            jobs=2,
+            block_residues=400,
+        )
+        records = ex.run(batch_queries, tiny_db).records
+        assert [r.ok for r in records] == [True] * len(batch_queries)
+        assert [r.result for r in records] == per_query_results
+
+    def test_compile_errors_stay_per_query(
+        self, batch_queries, tiny_db, tiny_params, per_query_results
+    ):
+        """A query that cannot compile is excluded before the sweep; the
+        rest of the batch completes normally."""
+        bad = batch_queries[:1] + [("broken", "")] + batch_queries[1:]
+        ex = BatchExecutor(
+            make_engine("cublastp", tiny_params), mode="db-sweep", block_residues=400
+        )
+        records = ex.run(bad, tiny_db).records
+        assert len(records) == len(bad)
+        assert records[1].error is not None and records[1].query_id == "broken"
+        good = [r for r in records if r.ok]
+        assert [r.result for r in good] == per_query_results
+
+    def test_jobs_clamped_on_process_backend(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        ex = BatchExecutor(backend="process", jobs=8)
+        assert ex.jobs == 2
+        assert ex.requested_jobs == 8
+        assert ex.jobs_clamped
+
+    def test_clamp_opt_out_and_thread_backend_unclamped(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert BatchExecutor(backend="process", jobs=8, clamp_jobs=False).jobs == 8
+        ex = BatchExecutor(backend="thread", jobs=8)
+        assert ex.jobs == 8 and not ex.jobs_clamped
+
+
+class TestStoreBlocks:
+    def test_blocks_cached_per_partitioning(self, tiny_db, tmp_path):
+        path = tmp_path / "tiny.rpdb"
+        tiny_db.save(path)
+        store = DatabaseStore()
+        first = store.blocks(path, 4)
+        assert len(first) == 4
+        assert store.blocks(path, 4) is first  # cached
+        assert store.blocks(path, 2) is not first  # different cut
+        # Eviction drops the cached cut with the residency entry.
+        store.evict(path)
+        assert store.blocks(path, 4) is not first
+
+    def test_blocks_cover_database(self, tiny_db, tmp_path):
+        path = tmp_path / "tiny.rpdb"
+        tiny_db.save(path)
+        store = DatabaseStore()
+        blocks = store.blocks(path, 3)
+        assert sum(len(b) for b in blocks) == len(tiny_db)
+
+
+class TestClusterBatch:
+    def test_cluster_search_batch_matches_single_node(
+        self, batch_queries, tiny_db, tiny_params, per_query_results
+    ):
+        from repro.cluster.multi_gpu import MultiGpuBlastp
+
+        results = MultiGpuBlastp.search_batch(
+            batch_queries, 3, tiny_db, tiny_params, block_residues=400
+        )
+        for got, expected in zip(results, per_query_results):
+            assert got.alignments == expected.alignments
+            assert got.num_hits == expected.num_hits
+            assert got.num_seeds == expected.num_seeds
