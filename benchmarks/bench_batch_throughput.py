@@ -159,7 +159,16 @@ def main(argv: list[str] | None = None) -> int:
                     help="fail unless the best db-sweep cell's qps >= the "
                     "per-query serial baseline (CI gate for the batch-"
                     "first inversion)")
+    ap.add_argument("--assert-phase", metavar="PHASE",
+                    help="with --max-ms: fail if the serial baseline's "
+                    "wall for this phase exceeds the bound (CI gate "
+                    "pinning a phase-level speedup, e.g. the columnar "
+                    "ungapped-extension path)")
+    ap.add_argument("--max-ms", type=float,
+                    help="phase wall bound in ms for --assert-phase")
     args = ap.parse_args(argv)
+    if (args.assert_phase is None) != (args.max_ms is None):
+        ap.error("--assert-phase and --max-ms must be given together")
 
     jobs_list = [int(j) for j in args.jobs.split(",") if j.strip()]
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
@@ -264,6 +273,23 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"OK: db-sweep qps {best['qps']} >= per-query serial qps "
               f"{serial['qps']}")
+
+    if args.assert_phase is not None:
+        # Gate on the serial cell: it has no job-count noise, so a phase
+        # regression can't hide behind parallel speedup elsewhere.
+        phase_ms = serial["phase_wall_ms"].get(args.assert_phase)
+        if phase_ms is None:
+            print(f"error: phase {args.assert_phase!r} not in the serial "
+                  f"breakdown (have: "
+                  f"{', '.join(serial['phase_wall_ms']) or 'none'})",
+                  file=sys.stderr)
+            return 2
+        if phase_ms > args.max_ms:
+            print(f"FAIL: serial {args.assert_phase} wall {phase_ms:.0f}ms "
+                  f"> bound {args.max_ms:.0f}ms", file=sys.stderr)
+            return 1
+        print(f"OK: serial {args.assert_phase} wall {phase_ms:.0f}ms "
+              f"<= bound {args.max_ms:.0f}ms")
     return 0
 
 

@@ -8,6 +8,7 @@ from repro.analysis.rules.events import EventPairingRule
 from repro.analysis.rules.excepts import BareExceptRule
 from repro.analysis.rules.floats import FloatEqualityRule
 from repro.analysis.rules.picklable import PicklableSpecRule
+from repro.analysis.rules.record_loops import PerRecordLoopRule
 from repro.analysis.rules.rng import UnseededRngRule
 from repro.analysis.rules.shared_alloc import SharedAllocRule
 from repro.analysis.rules.wallclock import WallClockRule
@@ -22,6 +23,7 @@ ALL_RULES: tuple[Rule, ...] = (
     EventPairingRule(),
     BareExceptRule(),
     PublicApiAllRule(),
+    PerRecordLoopRule(),
 )
 
 RULE_NAMES: tuple[str, ...] = tuple(r.name for r in ALL_RULES)

@@ -1,0 +1,88 @@
+"""no-per-record-loop-in-phase: phase hot paths stay columnar.
+
+The columnar extension dataflow retired per-object HSP records from the
+phase 2→4 hot path: extensions move as six aligned ``int64`` columns and
+every phase reduces them with array operations. A ``for`` loop over an
+extension-record stream inside a ``phase_*`` function quietly reverts
+that — one seemingly innocent loop re-inflates thousands of records per
+query. The rule flags loops (and comprehensions) inside functions whose
+name starts with ``phase_`` when they iterate ``.to_records()`` output
+or a name that conventionally holds an extension stream. Deliberately
+sequential cold loops (e.g. the gapped DP, whose per-item cost dwarfs
+record overhead) carry an inline ``reprolint: disable`` with their
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import Finding, ModuleSource, dotted_name
+
+#: Iteration-target names that conventionally hold extension/HSP record
+#: streams in this tree. Index arrays (``order``, ``idx``) and scalar
+#: columns are not listed — looping those is the columnar idiom itself.
+_RECORD_STREAM_NAMES = frozenset(
+    {"extensions", "exts", "ext", "records", "hsps", "gapped", "triggered"}
+)
+
+#: Transparent wrappers whose first argument is the real iterable.
+_WRAPPERS = frozenset({"enumerate", "sorted", "reversed", "list", "tuple"})
+
+
+def _record_stream(node: ast.expr) -> str | None:
+    """The record-stream expression iterated by ``node``, if any."""
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _WRAPPERS
+        and node.args
+    ):
+        node = node.args[0]
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "to_records"
+    ):
+        return ".to_records()"
+    name = dotted_name(node)
+    if name is not None and name.split(".")[-1] in _RECORD_STREAM_NAMES:
+        return name
+    return None
+
+
+def _iter_targets(func: ast.AST) -> Iterable[tuple[ast.AST, ast.expr]]:
+    """Every (anchor node, iterated expression) inside ``func``."""
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.For):
+            yield sub, sub.iter
+        elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in sub.generators:
+                yield sub, gen.iter
+
+
+class PerRecordLoopRule:
+    name = "no-per-record-loop-in-phase"
+    description = "phase_* functions must not loop over extension records"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.startswith("phase_"):
+                continue
+            for anchor, iterated in _iter_targets(node):
+                stream = _record_stream(iterated)
+                if stream is not None:
+                    out.append(
+                        module.finding(
+                            self.name,
+                            anchor,
+                            f"per-record loop over {stream} in "
+                            f"{node.name!r}: phase hot paths consume "
+                            "extension columns, not record objects",
+                        )
+                    )
+        return out

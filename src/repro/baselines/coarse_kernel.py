@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.results import UngappedExtension
+from repro.core.results import ExtensionArray
 from repro.cublastp.ext_common import ExtensionOutput, SCORE_BIAS
 from repro.cublastp.hit_detection_kernel import _alloc_unique
 from repro.cublastp.session import DeviceSession, WORD_ENTRY_COUNT_MASK, WORD_ENTRY_SHIFT
@@ -344,7 +344,7 @@ def run_coarse(
     buffered_output: bool,
     kernel_name: str,
     registers_per_thread: int | None = None,
-) -> tuple[list[UngappedExtension], KernelProfile]:
+) -> tuple[ExtensionArray, KernelProfile]:
     """Launch the coarse kernel and decode its extension output."""
     mem = session.ctx.memory
     db = session.db
@@ -390,7 +390,7 @@ def run_coarse(
         score=(b & 0xFFFFFFFF) - SCORE_BIAS,
     )
     raw.query_end = raw.query_start + (raw.subject_end - raw.subject_start)
-    extensions = raw.to_extensions()
+    extensions = raw.to_extension_array()
     profile.extra["num_extensions"] = len(extensions)
     profile.extra["d2h_bytes"] = len(extensions) * 16
     return extensions, profile

@@ -154,20 +154,12 @@ class CudaBlastp:
             kernel_name=self.name,
             registers_per_thread=self.kernel_registers,
         )
-        # Map sequence ids back to the caller's database ordering.
-        from repro.core.results import UngappedExtension
-
-        extensions = sorted(
-            UngappedExtension(
-                seq_id=int(order[e.seq_id]),
-                query_start=e.query_start,
-                query_end=e.query_end,
-                subject_start=e.subject_start,
-                subject_end=e.subject_end,
-                score=e.score,
-            )
-            for e in extensions
-        )
+        # Map sequence ids back to the caller's database ordering — one
+        # columnar gather — then restore the full-field sorted order the
+        # record path produced (sorted() over the dataclass tuple).
+        extensions = extensions.with_seq_ids(
+            np.asarray(order, dtype=np.int64)[extensions.seq_id]
+        ).sorted_full()
         cpu = run_cpu_phases(pipe, extensions, db, cutoffs, threads=self.cpu_threads)
         transfer = TransferModel()
         report = CoarseReport(

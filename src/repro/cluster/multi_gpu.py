@@ -50,6 +50,25 @@ MERGE_CYCLES_PER_RECORD = 220.0
 HEAD_CLOCK_GHZ = 3.1
 
 
+def _remap_alignments(alignments: list[Alignment], part: Partition) -> list[Alignment]:
+    """Alignments with partition-local ``seq_id`` rebased to global ids.
+
+    The id gather is one vectorised :meth:`Partition.to_global` call over
+    the whole column; only the (small, reported) record rebuild is
+    per-alignment.
+    """
+    if not alignments:
+        return []
+    local = np.fromiter(
+        (a.seq_id for a in alignments), dtype=np.int64, count=len(alignments)
+    )
+    global_ids = part.to_global(local)
+    return [
+        dataclasses.replace(a, seq_id=int(g))
+        for a, g in zip(alignments, global_ids)
+    ]
+
+
 @dataclass
 class NodeResult:
     """One node's search outcome and timing.
@@ -172,13 +191,7 @@ class MultiGpuBlastp:
         )
         node_compiled = self.compiled.with_params(node_params)
         result, report = self.searcher.run_with_report(node_compiled, part.db)
-        remapped = [
-            dataclasses.replace(
-                a,
-                seq_id=part.to_global(a.seq_id),
-            )
-            for a in result.alignments
-        ]
+        remapped = _remap_alignments(result.alignments, part)
         return NodeResult(
             node=part.node,
             num_sequences=len(part.db),
@@ -425,12 +438,7 @@ class MultiGpuBlastp:
                 # Partition-local ids map monotonically to global ids, so
                 # the per-node sorted order survives the remap and the
                 # head's k-way merge stays valid.
-                per_node[q].append(
-                    [
-                        dataclasses.replace(a, seq_id=part.to_global(a.seq_id))
-                        for a in result.alignments
-                    ]
-                )
+                per_node[q].append(_remap_alignments(result.alignments, part))
                 for key in counts[q]:
                     counts[q][key] += getattr(result, key)
         results = []

@@ -35,8 +35,15 @@ class Partition:
     global_ids: np.ndarray
     db: SequenceDatabase
 
-    def to_global(self, local_seq_id: int) -> int:
-        """Global sequence id of a partition-local id."""
+    def to_global(self, local_seq_id: "int | np.ndarray") -> "int | np.ndarray":
+        """Global sequence id(s) of partition-local id(s).
+
+        Accepts a scalar (returns ``int``) or an index array (returns the
+        gathered ``int64`` array) — the columnar remap path hands whole
+        ``seq_id`` columns over in one call.
+        """
+        if isinstance(local_seq_id, np.ndarray):
+            return self.global_ids[local_seq_id]
         return int(self.global_ids[local_seq_id])
 
 

@@ -12,7 +12,12 @@ from repro.core.gapped import GappedExtension, gapped_extend
 from repro.core.hit_detection import DatabaseHits, detect_hits
 from repro.core.hits import HitArray, diagonal_of
 from repro.core.pipeline import BlastpPipeline, PhaseCounts
-from repro.core.results import Alignment, SearchResult, UngappedExtension
+from repro.core.results import (
+    Alignment,
+    ExtensionArray,
+    SearchResult,
+    UngappedExtension,
+)
 from repro.core.statistics import SearchParams, resolve_cutoffs
 from repro.core.sweep import (
     DEFAULT_BLOCK_RESIDUES,
@@ -30,6 +35,7 @@ __all__ = [
     "DEFAULT_BLOCK_RESIDUES",
     "BlastpPipeline",
     "DatabaseHits",
+    "ExtensionArray",
     "GappedExtension",
     "HitArray",
     "PhaseCounts",

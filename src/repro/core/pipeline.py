@@ -17,8 +17,19 @@ import numpy as np
 
 from repro.core.gapped import GappedExtension, gapped_extend
 from repro.core.hit_detection import DatabaseHits, detect_hits
-from repro.core.results import Alignment, SearchResult, UngappedExtension
-from repro.core.statistics import Cutoffs, SearchParams, resolve_cutoffs
+from repro.core.results import (
+    Alignment,
+    ExtensionArray,
+    SearchResult,
+    UngappedExtension,
+)
+from repro.core.statistics import (
+    Cutoffs,
+    SearchParams,
+    bit_scores_for_scores,
+    evalues_for_scores,
+    resolve_cutoffs,
+)
 from repro.core.traceback import traceback_align
 from repro.core.two_hit import select_seeds_and_extend
 from repro.engine.compiled import CompiledQuery, compile_query
@@ -166,13 +177,13 @@ class BlastpPipeline:
 
     def phase_ungapped(
         self, db_hits: DatabaseHits, db: SequenceDatabase, cutoffs: Cutoffs
-    ) -> tuple[list[UngappedExtension], int]:
+    ) -> tuple[ExtensionArray, int]:
         """Phase 2: two-hit seeding + x-drop ungapped extension."""
         return self.phase_ungapped_hits(db_hits.hits, db, cutoffs)
 
     def phase_ungapped_hits(
         self, hits, db: SequenceDatabase, cutoffs: Cutoffs
-    ) -> tuple[list[UngappedExtension], int]:
+    ) -> tuple[ExtensionArray, int]:
         """Phase 2 on a bare hit array (what the batched sweep unpacks
         from its query-tagged stream, block by block)."""
         return select_seeds_and_extend(
@@ -186,41 +197,53 @@ class BlastpPipeline:
 
     def phase_gapped(
         self,
-        extensions: list[UngappedExtension],
+        extensions: ExtensionArray | list[UngappedExtension],
         db: SequenceDatabase,
         cutoffs: Cutoffs,
     ) -> tuple[list[GappedExtension], int]:
         """Phase 3: gapped extension on high-scoring ungapped segments.
 
-        Segments scoring below the gap trigger are dropped. Triggered
-        segments are processed best-first per sequence, and a segment whose
-        seed point already lies inside an accepted extension's bounding box
-        is skipped (BLAST's containment rule) — it would rediscover the
-        same alignment.
+        Segments scoring below the gap trigger are dropped — a vectorised
+        columnar filter, as is the best-first ordering and per-segment
+        seed-point arithmetic. Triggered segments are processed best-first
+        per sequence, and a segment whose seed point already lies inside
+        an accepted extension's bounding box is skipped (BLAST's
+        containment rule) — it would rediscover the same alignment.
 
         Returns
         -------
         (gapped_extensions, num_triggers)
         """
-        triggered = [e for e in extensions if e.score >= cutoffs.gap_trigger]
-        num_triggers = len(triggered)
-        triggered.sort(key=lambda e: (-e.score, e.seq_id, e.subject_start, e.query_start))
+        ext = ExtensionArray.coerce(extensions)
+        trig = ext.take(ext.score >= cutoffs.gap_trigger)
+        num_triggers = len(trig)
+        # Best-first per sequence; lexsort is stable, so full ties keep
+        # the stream order exactly as the old list.sort(key=...) did.
+        order = np.lexsort(
+            (trig.query_start, trig.subject_start, trig.seq_id, -trig.score)
+        )
+        mid = trig.lengths // 2
+        seed_q_col = trig.query_start + mid
+        seed_s_col = trig.subject_start + mid
         accepted: list[GappedExtension] = []
         boxes: dict[int, list[tuple[int, int, int, int]]] = {}
-        for ext in triggered:
-            mid = ext.length // 2
-            seed_q = ext.query_start + mid
-            seed_s = ext.subject_start + mid
+        # Containment + the gapped DP are inherently sequential (each
+        # accepted box suppresses later seeds) and the DP dominates; the
+        # loop walks precomputed columns, not records.
+        for k in order:
+            seq_id = int(trig.seq_id[k])
+            seed_q = int(seed_q_col[k])
+            seed_s = int(seed_s_col[k])
             covered = any(
                 bqs <= seed_q <= bqe and bss <= seed_s <= bse
-                for (bqs, bqe, bss, bse) in boxes.get(ext.seq_id, [])
+                for (bqs, bqe, bss, bse) in boxes.get(seq_id, [])
             )
             if covered:
                 continue
             gext = gapped_extend(
                 self.pssm,
-                db.sequence(ext.seq_id),
-                ext.seq_id,
+                db.sequence(seq_id),
+                seq_id,
                 seed_q,
                 seed_s,
                 self.params.gap_open,
@@ -228,7 +251,7 @@ class BlastpPipeline:
                 cutoffs.x_drop_gapped,
             )
             accepted.append(gext)
-            boxes.setdefault(ext.seq_id, []).append(
+            boxes.setdefault(seq_id, []).append(
                 (gext.box_query_start, gext.box_query_end,
                  gext.box_subject_start, gext.box_subject_end)
             )
@@ -244,7 +267,9 @@ class BlastpPipeline:
         seen: set[tuple[int, int, int, int, int]] = set()
         out: list[Alignment] = []
         db_residues = cutoffs.effective_db_residues or int(db.codes.size)
-        for gext in gapped:
+        # Cold by construction: gapped extensions number in the tens and
+        # each iteration runs a full banded DP that dwarfs record overhead.
+        for gext in gapped:  # reprolint: disable=no-per-record-loop-in-phase
             if gext.score < cutoffs.report_cutoff:
                 continue
             tb = traceback_align(
@@ -293,7 +318,7 @@ class BlastpPipeline:
 
     def phase_ungapped_report(
         self,
-        extensions: list[UngappedExtension],
+        extensions: ExtensionArray | list[UngappedExtension],
         db: SequenceDatabase,
         cutoffs: Cutoffs,
     ) -> list[Alignment]:
@@ -301,51 +326,67 @@ class BlastpPipeline:
 
         Replaces phases 3 and 4: extensions meeting the E-value threshold
         under the *ungapped* Karlin-Altschul statistics become reported
-        alignments (no gap columns by construction).
+        alignments (no gap columns by construction). E-values, bit
+        scores, the threshold filter and the first-occurrence de-dup all
+        run columnar; only the surviving (reported) rows are rendered.
         """
         from repro.alphabet import decode
 
+        ext = ExtensionArray.coerce(extensions)
         db_residues = cutoffs.effective_db_residues or int(db.codes.size)
-        seen: set[tuple[int, int, int]] = set()
+        evalues = evalues_for_scores(
+            cutoffs.ungapped, ext.score, self.query_length, db_residues
+        )
+        idx = np.flatnonzero(evalues <= self.params.evalue)
+        if idx.size:
+            # First survivor per (seq_id, query_start, subject_start):
+            # sort by the key (stable, so ties keep stream order), keep
+            # each run's head, then restore stream order — exactly the
+            # retired ``seen``-set walk.
+            order = np.lexsort(
+                (ext.subject_start[idx], ext.query_start[idx], ext.seq_id[idx])
+            )
+            srt = idx[order]
+            sid, qst, sst = ext.seq_id[srt], ext.query_start[srt], ext.subject_start[srt]
+            head = np.ones(srt.size, dtype=bool)
+            head[1:] = (
+                (sid[1:] != sid[:-1]) | (qst[1:] != qst[:-1]) | (sst[1:] != sst[:-1])
+            )
+            idx = np.sort(srt[head])
+        bits = bit_scores_for_scores(cutoffs.ungapped, ext.score[idx])
         out: list[Alignment] = []
-        for ext in extensions:
-            evalue = cutoffs.ungapped.evalue(ext.score, self.query_length, db_residues)
-            if evalue > self.params.evalue:
-                continue
-            key = (ext.seq_id, ext.query_start, ext.subject_start)
-            if key in seen:
-                continue
-            seen.add(key)
-            q_seg = self.query_codes[ext.query_start : ext.query_end + 1]
-            s_seg = db.sequence(ext.seq_id)[ext.subject_start : ext.subject_end + 1]
-            midline = []
-            identities = positives = 0
-            for k, (a, b) in enumerate(zip(q_seg, s_seg)):
-                if a == b:
-                    identities += 1
-                    positives += 1
-                    midline.append(decode(np.array([a], dtype=np.uint8)))
-                elif int(self.pssm[b, ext.query_start + k]) > 0:
-                    positives += 1
-                    midline.append("+")
-                else:
-                    midline.append(" ")
+        for j, k in enumerate(idx):
+            qs, qe = int(ext.query_start[k]), int(ext.query_end[k])
+            ss, se = int(ext.subject_start[k]), int(ext.subject_end[k])
+            seq_id = int(ext.seq_id[k])
+            q_seg = self.query_codes[qs : qe + 1]
+            s_seg = db.sequence(seq_id)[ss : se + 1]
+            aligned_query = decode(q_seg)
+            # Vectorised midline/identity: identity columns echo the
+            # query letter, positive-scoring mismatches mark '+'.
+            eq = q_seg == s_seg
+            pos = self.pssm[s_seg, np.arange(qs, qe + 1)] > 0
+            midline = np.where(
+                eq,
+                np.frombuffer(aligned_query.encode("ascii"), dtype="S1"),
+                np.where(pos, b"+", b" "),
+            ).tobytes().decode("ascii")
             out.append(
                 Alignment(
-                    seq_id=ext.seq_id,
-                    subject_identifier=db.identifier(ext.seq_id),
-                    score=ext.score,
-                    bit_score=cutoffs.ungapped.bit_score(ext.score),
-                    evalue=evalue,
-                    query_start=ext.query_start,
-                    query_end=ext.query_end,
-                    subject_start=ext.subject_start,
-                    subject_end=ext.subject_end,
-                    aligned_query=decode(q_seg),
+                    seq_id=seq_id,
+                    subject_identifier=db.identifier(seq_id),
+                    score=int(ext.score[k]),
+                    bit_score=float(bits[j]),
+                    evalue=float(evalues[k]),
+                    query_start=qs,
+                    query_end=qe,
+                    subject_start=ss,
+                    subject_end=se,
+                    aligned_query=aligned_query,
                     aligned_subject=decode(s_seg),
-                    midline="".join(midline),
-                    identities=identities,
-                    positives=positives,
+                    midline=midline,
+                    identities=int(eq.sum()),
+                    positives=int((eq | pos).sum()),
                     gaps=0,
                 )
             )

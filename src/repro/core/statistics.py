@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.matrices.blosum import BLOSUM62, ScoringMatrix
 from repro.matrices.karlin import KarlinParams, gapped_params, ungapped_params
@@ -106,6 +108,42 @@ def raw_drop_from_bits(bits: float, params: KarlinParams) -> int:
     X-drops are score *differences*, so only lambda (not K) enters.
     """
     return max(1, math.floor(bits * math.log(2.0) / params.lam))
+
+
+def evalues_for_scores(
+    karlin: KarlinParams,
+    scores: np.ndarray,
+    query_length: int,
+    db_residues: int,
+) -> np.ndarray:
+    """Per-row E-values for a raw-score column (columnar phase 3/4 path).
+
+    Bit-identical to calling :meth:`KarlinParams.evalue` per record: the
+    canonical comparison is ``repr()``-exact on floats, and ``np.exp`` is
+    not guaranteed to match libm's ``math.exp`` in the last ulp, so this
+    memoises the *scalar* computation per unique raw score (extension
+    streams repeat a handful of scores thousands of times) instead of
+    switching transcendental implementations.
+    """
+    scores = np.asarray(scores, dtype=np.int64)
+    uniq, inverse = np.unique(scores, return_inverse=True)
+    values = np.array(
+        [karlin.evalue(int(s), query_length, db_residues) for s in uniq],
+        dtype=np.float64,
+    )
+    return values[inverse]
+
+
+def bit_scores_for_scores(karlin: KarlinParams, scores: np.ndarray) -> np.ndarray:
+    """Per-row bit scores for a raw-score column.
+
+    Same unique-score memoisation (and exactness argument) as
+    :func:`evalues_for_scores`.
+    """
+    scores = np.asarray(scores, dtype=np.int64)
+    uniq, inverse = np.unique(scores, return_inverse=True)
+    values = np.array([karlin.bit_score(int(s)) for s in uniq], dtype=np.float64)
+    return values[inverse]
 
 
 def resolve_cutoffs(params: SearchParams, query_length: int, db_residues: int) -> Cutoffs:

@@ -20,20 +20,20 @@ and the property suite):
   :func:`~repro.core.two_hit.select_seeds_and_extend` groups by
   ``(seq_id, diagonal)`` after a global ``seq_id``-major lexsort; since no
   group straddles a block and blocks ascend in ``seq_id``, the per-block
-  extension lists concatenated in block order equal the one-shot list;
-* gapped extension onward — runs on the accumulated extension list with
-  the same cutoffs (statistics are resolved against the *whole* database,
-  never a block), through the same phase methods.
+  extension columns concatenated in block order equal the one-shot
+  :class:`~repro.core.results.ExtensionArray`;
+* gapped extension onward — runs on the accumulated extension columns
+  with the same cutoffs (statistics are resolved against the *whole*
+  database, never a block), through the same phase methods.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.pipeline import BlastpPipeline, PhaseCounts
-from repro.core.results import SearchResult, UngappedExtension
+from repro.core.results import ExtensionArray, SearchResult
 from repro.io.database import SequenceDatabase
 from repro.seeding.multi_query import MultiQueryIndex
 
@@ -61,33 +61,30 @@ def sweep_extend_block(
     block: SequenceDatabase,
     cutoffs: "Sequence[Cutoffs]",
     seq_id_base: int = 0,
-) -> tuple[list[list[UngappedExtension]], list[int], list[int]]:
+) -> tuple[list[ExtensionArray], list[int], list[int]]:
     """Sweep one block and run block-local phase 2 for every query.
 
-    Returns per-query ``(extensions, num_hits, num_seeds)`` — extensions
-    carry global sequence ids (``seq_id_base`` rebases the block-local
-    ids), so accumulating them across blocks needs no further translation.
+    Returns per-query ``(extensions, num_hits, num_seeds)`` — extension
+    columns carry global sequence ids (``seq_id_base`` rebases the
+    block-local ids in one vectorised add), so accumulating them across
+    blocks needs no further translation.
 
     Subject coordinates inside an extension are sequence-local, so only
     the sequence id needs rebasing.
     """
     tagged = index.sweep_block(block)
-    extensions: list[list[UngappedExtension]] = []
+    extensions: list[ExtensionArray] = []
     num_hits: list[int] = []
     num_seeds: list[int] = []
     for q, pipe in enumerate(pipelines):
         hits_q = int(tagged.per_query[q])
         num_hits.append(hits_q)
         if hits_q == 0:
-            extensions.append([])
+            extensions.append(ExtensionArray.empty())
             num_seeds.append(0)
             continue
         exts, seeds = pipe.phase_ungapped_hits(index.untag(tagged, q), block, cutoffs[q])
-        if seq_id_base:
-            exts = [
-                dataclasses.replace(e, seq_id=e.seq_id + seq_id_base) for e in exts
-            ]
-        extensions.append(exts)
+        extensions.append(exts.with_seq_offset(seq_id_base))
         num_seeds.append(seeds)
     return extensions, num_hits, num_seeds
 
@@ -95,7 +92,7 @@ def sweep_extend_block(
 def sweep_finish(
     pipe: BlastpPipeline,
     db: SequenceDatabase,
-    extensions: list[UngappedExtension],
+    extensions: ExtensionArray,
     num_hits: int,
     num_seeds: int,
     cutoffs: "Cutoffs",
@@ -199,7 +196,9 @@ def search_batch_sweep(
     if blocks is None:
         blocks = db.blocks(num_sweep_blocks(db, block_residues))
     n_queries = len(pipelines)
-    all_extensions: list[list[UngappedExtension]] = [[] for _ in range(n_queries)]
+    # Per-query extension columns accumulate block by block and
+    # concatenate once at finish — no per-record work crosses a block.
+    all_extensions: list[list[ExtensionArray]] = [[] for _ in range(n_queries)]
     total_hits = [0] * n_queries
     total_seeds = [0] * n_queries
     # Blocks of a view collapse onto the root parent, so their ``start``
@@ -220,11 +219,7 @@ def search_batch_sweep(
                 exts, seeds = pipe.phase_ungapped_hits(
                     index.untag(tagged, q), block, cutoffs[q]
                 )
-                if base:
-                    exts = [
-                        dataclasses.replace(e, seq_id=e.seq_id + base) for e in exts
-                    ]
-                all_extensions[q].extend(exts)
+                all_extensions[q].append(exts.with_seq_offset(base))
                 total_seeds[q] += seeds
                 block_ext += len(exts)
             ev["work_items"] = block_ext
@@ -232,7 +227,7 @@ def search_batch_sweep(
         sweep_finish(
             pipe,
             db,
-            all_extensions[q],
+            ExtensionArray.concat(all_extensions[q]),
             total_hits[q],
             total_seeds[q],
             cutoffs[q],

@@ -146,24 +146,28 @@ def traceback_align(
     aligned_subject = "".join(
         GAP_CHAR if c < 0 else decode(np.array([c], dtype=np.uint8)) for c in asub
     )
-    identities = positives = gaps = 0
-    midline_chars: list[str] = []
-    qpos = qs + i  # absolute query position of the next non-gap query column
-    for col, (ca, cb) in enumerate(zip(aq, asub)):
-        if ca < 0 or cb < 0:
-            gaps += 1
-            midline_chars.append(" ")
-        elif ca == cb:
-            identities += 1
-            positives += 1
-            midline_chars.append(aligned_query[col])
-        elif int(pssm[cb, qpos]) > 0:
-            positives += 1
-            midline_chars.append("+")
-        else:
-            midline_chars.append(" ")
-        if ca >= 0:
-            qpos += 1
+    # Vectorised midline/identity pass over the alignment columns. Each
+    # non-gap column's absolute query position is the start plus the count
+    # of preceding query-consuming columns (exclusive prefix sum).
+    aq_arr = np.array(aq, dtype=np.int64)
+    as_arr = np.array(asub, dtype=np.int64)
+    gap_col = (aq_arr < 0) | (as_arr < 0)
+    eq = ~gap_col & (aq_arr == as_arr)
+    has_q = aq_arr >= 0
+    qpos_arr = qs + i + np.cumsum(has_q) - has_q
+    sub_pos = pssm[
+        np.where(as_arr >= 0, as_arr, 0),
+        np.where(has_q, qpos_arr, 0),
+    ] > 0
+    plus = ~gap_col & ~eq & sub_pos
+    gaps = int(gap_col.sum())
+    identities = int(eq.sum())
+    positives = identities + int(plus.sum())
+    midline_arr = np.where(
+        eq,
+        np.frombuffer(aligned_query.encode("ascii"), dtype="S1"),
+        np.where(plus, b"+", b" "),
+    )
     return TracebackAlignment(
         score=best,
         query_start=qs + i,
@@ -172,7 +176,7 @@ def traceback_align(
         subject_end=ss + end_j - 1,
         aligned_query=aligned_query,
         aligned_subject=aligned_subject,
-        midline="".join(midline_chars),
+        midline=midline_arr.tobytes().decode("ascii"),
         identities=identities,
         positives=positives,
         gaps=gaps,

@@ -30,7 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.hits import HitArray
-from repro.core.results import UngappedExtension
+from repro.core.results import ExtensionArray
 from repro.core.ungapped import batch_ungapped_extend
 from repro.io.database import SequenceDatabase
 
@@ -78,6 +78,54 @@ def seed_mask(hits: HitArray, two_hit_window: int, word_length: int = 3) -> np.n
     return mask
 
 
+def covered_seed_mask(
+    seq_id: np.ndarray,
+    diag: np.ndarray,
+    spos: np.ndarray,
+    s_end: np.ndarray,
+) -> np.ndarray:
+    """Vectorised coverage rule: which seeds trigger an extension (rule 2).
+
+    Inputs are ``(seq_id, diag, spos)``-lexsorted seed columns with
+    ``s_end`` the subject end each seed's extension reached. The scalar
+    rule walks a group in ascending ``spos`` keeping a seed iff it starts
+    beyond the previously *kept* extension's subject end. Because every
+    kept extension contains its own seed word, its reach satisfies
+    ``s_end >= spos + W - 1 > previous reach``, so the kept chain inside a
+    group is exactly a pointer-jumping chase: from a kept seed, the next
+    kept one is the first in-group seed with ``spos > s_end`` — found for
+    *all* chains at once with one :func:`numpy.searchsorted` per wave on
+    the same composite ``group * stride + spos`` key :func:`seed_mask`
+    uses. Wave count is the longest kept chain, not the seed count.
+
+    Returns the kept mask aligned with the (sorted) inputs; kept rows in
+    ascending index order are exactly the scalar loop's append order.
+    """
+    n = seq_id.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (seq_id[1:] != seq_id[:-1]) | (diag[1:] != diag[:-1])
+    group_id = np.cumsum(new_group) - 1
+    group_first = np.flatnonzero(new_group)
+    group_past = np.append(group_first[1:], n)
+    # One composite key per seed; the stride clears every position *and*
+    # every extension reach so targets never alias the next group.
+    stride = np.int64(int(s_end.max()) + 2)
+    keyed = group_id * stride + spos
+    kept = np.zeros(n, dtype=bool)
+    # Wave 0: the first seed of every group (scalar reach resets to -1).
+    cur = group_first
+    while cur.size:
+        kept[cur] = True
+        # First in-group seed past this extension's reach, per chain.
+        nxt = np.searchsorted(keyed, group_id[cur] * stride + s_end[cur], side="right")
+        alive = nxt < group_past[group_id[cur]]
+        cur = nxt[alive]
+    return kept
+
+
 def select_seeds_and_extend(
     hits: HitArray,
     db: SequenceDatabase,
@@ -85,20 +133,21 @@ def select_seeds_and_extend(
     word_length: int,
     two_hit_window: int,
     x_drop: int,
-) -> tuple[list[UngappedExtension], int]:
+) -> tuple[ExtensionArray, int]:
     """Apply both rules and run ungapped extension on every triggered seed.
 
     Returns
     -------
     (extensions, num_seeds):
-        Extensions in ``(seq_id, diagonal, subject_pos)`` seed order, and
-        the number of hits that passed the two-hit rule (the paper's
-        "hits passed to ungapped extension", 5-11 % of all hits).
+        An :class:`~repro.core.results.ExtensionArray` in ``(seq_id,
+        diagonal, subject_pos)`` seed order, and the number of hits that
+        passed the two-hit rule (the paper's "hits passed to ungapped
+        extension", 5-11 % of all hits).
     """
     mask = seed_mask(hits, two_hit_window, word_length)
     num_seeds = int(mask.sum())
     if num_seeds == 0:
-        return [], 0
+        return ExtensionArray.empty(), 0
 
     seq_id = hits.seq_id[mask]
     qpos = hits.query_pos[mask]
@@ -123,27 +172,19 @@ def select_seeds_and_extend(
         x_drop,
     )
 
-    # Sequential coverage pass per (sequence, diagonal) group: keep a seed
-    # only when it starts beyond the previous kept extension's subject end.
-    new_group = np.zeros(seq_id.size, dtype=bool)
-    new_group[0] = True
-    new_group[1:] = (seq_id[1:] != seq_id[:-1]) | (diag[1:] != diag[:-1])
-    extensions: list[UngappedExtension] = []
-    ext_reach = -1
-    for k in range(seq_id.size):
-        if new_group[k]:
-            ext_reach = -1
-        if spos[k] <= ext_reach:
-            continue  # covered by the previous extension on this diagonal
-        extensions.append(
-            UngappedExtension(
-                seq_id=int(seq_id[k]),
-                query_start=int(q_start[k]),
-                query_end=int(q_end[k]),
-                subject_start=int(s_start[k]),
-                subject_end=int(s_end[k]),
-                score=int(score[k]),
-            )
-        )
-        ext_reach = int(s_end[k])
-    return extensions, num_seeds
+    # Coverage pass per (sequence, diagonal) group: keep a seed only when
+    # it starts beyond the previous kept extension's subject end. Fully
+    # vectorised (see covered_seed_mask); kept rows stay in seed order, so
+    # the columns below equal the retired scalar loop's append order.
+    kept = covered_seed_mask(seq_id, diag, spos, s_end)
+    return (
+        ExtensionArray(
+            seq_id=seq_id[kept],
+            query_start=q_start[kept],
+            query_end=q_end[kept],
+            subject_start=s_start[kept],
+            subject_end=s_end[kept],
+            score=score[kept],
+        ),
+        num_seeds,
+    )

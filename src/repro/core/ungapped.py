@@ -128,10 +128,15 @@ def ungapped_extend(
     )
 
 
-#: Window length used by the batched extension before falling back to the
-#: scalar path. With the BLASTP default x-drop (~16 raw) extensions through
-#: random protein sequence terminate well inside this window; only genuinely
-#: homologous segments overrun it, and those are re-done exactly.
+#: First-pass window of the escalating batched extension. With the BLASTP
+#: default x-drop (~16 raw) roughly nine in ten walks through random
+#: protein sequence terminate within 32 residues, so the bulk of the score
+#: gathering happens at this width.
+FIRST_WINDOW = 32
+
+#: Second-pass window for walks that overrun :data:`FIRST_WINDOW`. Only
+#: genuinely homologous segments overrun *this* one, and those few are
+#: re-done exactly in a final bounded pass.
 BATCH_WINDOW = 128
 
 
@@ -197,9 +202,10 @@ def batch_ungapped_extend(
     window of :data:`BATCH_WINDOW` score contributions per direction is
     gathered with fancy indexing and reduced with the same x-drop rule as
     :func:`ungapped_extend`. Seeds whose walk overruns the window (rare:
-    only long homologous segments) are redone exactly with the scalar path,
-    so results are bit-identical to calling :func:`ungapped_extend` per
-    seed — a property the test suite checks.
+    only long homologous segments) are redone exactly in one batched
+    second pass whose window covers the longest possible walk, so results
+    are bit-identical to calling :func:`ungapped_extend` per seed — a
+    property the test suite checks.
 
     Parameters
     ----------
@@ -226,25 +232,101 @@ def batch_ungapped_extend(
     if n == 0:
         z = np.zeros(0, dtype=np.int64)
         return z, z.copy(), z.copy(), z.copy(), z.copy()
-    L = BATCH_WINDOW
     q0 = np.asarray(query_pos, dtype=np.int64)
     s0 = np.asarray(subject_pos, dtype=np.int64)
-    abs0 = np.asarray(seq_starts, dtype=np.int64) + s0
+    starts = np.asarray(seq_starts, dtype=np.int64)
+    ends = np.asarray(seq_ends, dtype=np.int64)
+    abs0 = starts + s0
 
     # Seed word score.
     k = np.arange(word_length)
     word_codes = db_codes[abs0[:, None] + k[None, :]]
     word_score = pssm[word_codes, q0[:, None] + k[None, :]].sum(axis=1, dtype=np.int64)
 
+    # Escalating windows: every seed gets a FIRST_WINDOW pass; the minority
+    # whose walk overruns it (no drop, residues left) escalates to
+    # BATCH_WINDOW. A windowed result is exact whenever the drop fired or
+    # the sequence ran out inside the window, so each escalation simply
+    # recomputes the still-open rows at a larger width.
+    gain_l = np.zeros(n, dtype=np.int64)
+    steps_l = np.zeros(n, dtype=np.int64)
+    gain_r = np.zeros(n, dtype=np.int64)
+    steps_r = np.zeros(n, dtype=np.int64)
+    pending = np.arange(n)
+    for window in (FIRST_WINDOW, BATCH_WINDOW):
+        gl, sl, ol, gr, sr, orr = _windowed_directions(
+            pssm, db_codes, starts[pending], ends[pending],
+            q0[pending], abs0[pending], word_length, x_drop, window,
+        )
+        gain_l[pending], steps_l[pending] = gl, sl
+        gain_r[pending], steps_r[pending] = gr, sr
+        pending = pending[ol | orr]
+        if pending.size == 0:
+            break
+
+    # Batched exact redo for the few BATCH_WINDOW-overrunning seeds: rerun
+    # them through the same windowed pass, with the window one slot wider
+    # than the longest walk any of them could take (both directions are
+    # bounded by the query and the subject slack). The slot past a row's
+    # last in-range residue then always holds the sentinel, the drop fires
+    # there, and the pass degenerates to the exact (unwindowed)
+    # :func:`_direction_gain` — bit-identical to a scalar redo, without
+    # the per-row Python loop.
+    if pending.size:
+        redo = pending
+        max_walk = max(
+            int(np.max(np.minimum(qlen - (q0[redo] + word_length),
+                                  ends[redo] - (abs0[redo] + word_length)))),
+            int(np.max(np.minimum(q0[redo], abs0[redo] - starts[redo]))),
+        )
+        gl, sl, ol, gr, sr, orr = _windowed_directions(
+            pssm, db_codes, starts[redo], ends[redo], q0[redo], abs0[redo],
+            word_length, x_drop, max_walk + 1,
+        )
+        assert not (ol.any() or orr.any()), "redo window must cover every walk"
+        gain_l[redo], steps_l[redo] = gl, sl
+        gain_r[redo], steps_r[redo] = gr, sr
+
+    q_start = q0 - steps_l
+    q_end = q0 + word_length - 1 + steps_r
+    s_start = s0 - steps_l
+    s_end = s0 + word_length - 1 + steps_r
+    score = word_score + gain_l + gain_r
+    return q_start, q_end, s_start, s_end, score
+
+
+def _windowed_directions(
+    pssm: np.ndarray,
+    db_codes: np.ndarray,
+    seq_starts: np.ndarray,
+    seq_ends: np.ndarray,
+    q0: np.ndarray,
+    abs0: np.ndarray,
+    word_length: int,
+    x_drop: int,
+    L: int,
+) -> tuple[np.ndarray, ...]:
+    """Both x-drop directions for a row subset, ``L`` residues per window.
+
+    Returns ``(gain_l, steps_l, over_l, gain_r, steps_r, over_r)``; the
+    ``over`` masks flag rows whose walk used the whole window without the
+    drop firing (their results are lower bounds, not exact).
+    """
+    qlen = pssm.shape[1]
     steps_arr = np.arange(1, L + 1, dtype=np.int64)
 
     # Right direction: pairs (q0 + W - 1 + t, s0 + W - 1 + t), t = 1..L.
+    # Out-of-range slots gather a clamped (garbage) score and are then
+    # overwritten with the sentinel — one dense fancy-index beats the
+    # nonzero + scatter pair on these mostly-valid windows.
     qr = q0[:, None] + word_length - 1 + steps_arr[None, :]
     ar = abs0[:, None] + word_length - 1 + steps_arr[None, :]
-    valid_r = (qr < qlen) & (ar < np.asarray(seq_ends, dtype=np.int64)[:, None])
-    dr = np.full((n, L), NEG_SENTINEL, dtype=np.int64)
-    idx = np.nonzero(valid_r)
-    dr[idx] = pssm[db_codes[ar[idx]], qr[idx]]
+    valid_r = (qr < qlen) & (ar < seq_ends[:, None])
+    dr = np.where(
+        valid_r,
+        pssm[db_codes[np.minimum(ar, db_codes.size - 1)], np.minimum(qr, qlen - 1)],
+        NEG_SENTINEL,
+    )
     gain_r, steps_r, over_r = _batch_direction(dr, x_drop)
     # A row only truly overruns if its last window slot was a real residue.
     over_r &= valid_r[:, -1]
@@ -252,31 +334,15 @@ def batch_ungapped_extend(
     # Left direction: pairs (q0 - t, s0 - t), t = 1..L.
     ql = q0[:, None] - steps_arr[None, :]
     al = abs0[:, None] - steps_arr[None, :]
-    valid_l = (ql >= 0) & (al >= np.asarray(seq_starts, dtype=np.int64)[:, None])
-    dl = np.full((n, L), NEG_SENTINEL, dtype=np.int64)
-    idx = np.nonzero(valid_l)
-    dl[idx] = pssm[db_codes[al[idx]], ql[idx]]
+    valid_l = (ql >= 0) & (al >= seq_starts[:, None])
+    dl = np.where(
+        valid_l,
+        pssm[db_codes[np.maximum(al, 0)], np.maximum(ql, 0)],
+        NEG_SENTINEL,
+    )
     gain_l, steps_l, over_l = _batch_direction(dl, x_drop)
     over_l &= valid_l[:, -1]
-
-    q_start = q0 - steps_l
-    q_end = q0 + word_length - 1 + steps_r
-    s_start = s0 - steps_l
-    s_end = s0 + word_length - 1 + steps_r
-    score = word_score + gain_l + gain_r
-
-    # Exact redo for the few window-overrunning seeds.
-    redo = np.nonzero(over_r | over_l)[0]
-    for i in redo:
-        start = int(seq_starts[i])
-        subject = db_codes[start : int(seq_ends[i])]
-        ext = ungapped_extend(
-            pssm, subject, int(seq_ids[i]), int(q0[i]), int(s0[i]), word_length, x_drop
-        )
-        q_start[i], q_end[i] = ext.query_start, ext.query_end
-        s_start[i], s_end[i] = ext.subject_start, ext.subject_end
-        score[i] = ext.score
-    return q_start, q_end, s_start, s_end, score
+    return gain_l, steps_l, over_l, gain_r, steps_r, over_r
 
 
 def ungapped_extend_scalar(

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.results import UngappedExtension
+from repro.core.results import ExtensionArray, UngappedExtension
 from repro.cublastp.buffering import MatrixMode
 from repro.cublastp.session import DeviceSession
 from repro.gpusim.shared import SharedMemory
@@ -175,22 +175,27 @@ class ExtensionOutput:
     def __len__(self) -> int:
         return int(self.seq_id.size)
 
-    def to_extensions(self) -> list[UngappedExtension]:
-        """Convert to result objects in canonical (sorted) order."""
-        order = np.lexsort(
-            (self.subject_start, self.query_start, self.seq_id)
+    def to_extension_array(self) -> ExtensionArray:
+        """Columnar readback in canonical (seq, query, subject) order.
+
+        The device buffers decode straight into six aligned columns; one
+        lexsort puts them in the order the record path always used, and
+        the CPU phases consume the columns without ever materialising
+        per-record objects.
+        """
+        order = np.lexsort((self.subject_start, self.query_start, self.seq_id))
+        return ExtensionArray(
+            seq_id=self.seq_id[order],
+            query_start=self.query_start[order],
+            query_end=self.query_end[order],
+            subject_start=self.subject_start[order],
+            subject_end=self.subject_end[order],
+            score=self.score[order],
         )
-        return [
-            UngappedExtension(
-                seq_id=int(self.seq_id[k]),
-                query_start=int(self.query_start[k]),
-                query_end=int(self.query_end[k]),
-                subject_start=int(self.subject_start[k]),
-                subject_end=int(self.subject_end[k]),
-                score=int(self.score[k]),
-            )
-            for k in order
-        ]
+
+    def to_extensions(self) -> list[UngappedExtension]:
+        """Record-object shim over :meth:`to_extension_array` (cold paths)."""
+        return self.to_extension_array().to_records()
 
 
 class WarpOutputBuffer:

@@ -9,7 +9,7 @@ performance at equal output.
 
 from __future__ import annotations
 
-from repro.core.results import UngappedExtension
+from repro.core.results import ExtensionArray
 from repro.cublastp.config import ExtensionMode
 from repro.cublastp.ext_common import ExtensionOutput, read_extensions
 from repro.cublastp.ext_diagonal import DiagonalExtensionKernel
@@ -28,11 +28,11 @@ def run_extension(
     x_drop: int,
     word_length: int,
     mode: ExtensionMode | None = None,
-) -> tuple[list[UngappedExtension], KernelProfile]:
+) -> tuple[ExtensionArray, KernelProfile]:
     """Run the ungapped-extension phase on the device.
 
-    Returns the de-duplicated extensions in canonical order plus the
-    kernel profile.
+    Returns the de-duplicated extension columns in canonical order plus
+    the kernel profile.
     """
     cfg = session.config
     mode = mode or cfg.extension_mode
@@ -57,7 +57,7 @@ def run_extension(
 
     if n_seeds == 0:
         profile = KernelProfile(name=kernel.name, device=session.device)
-        return [], profile
+        return ExtensionArray.empty(), profile
     # Work-proportional grid: launching far more warps than work items
     # would charge every extra block its shared-memory staging (PSSM /
     # BLOSUM copy-in) for nothing. Each warp grid-strides through several
@@ -92,7 +92,7 @@ def run_extension(
     else:
         raw = read_extensions(session, seeds.query_length)
 
-    extensions = raw.to_extensions()
+    extensions = raw.to_extension_array()
     profile.extra["num_extensions"] = len(extensions)
     #: Bytes the pipeline ships back to the host for the CPU phases.
     profile.extra["d2h_bytes"] = len(extensions) * 16

@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.pipeline import BlastpPipeline
-from repro.core.results import Alignment, UngappedExtension
+from repro.core.results import Alignment, ExtensionArray
 from repro.core.statistics import Cutoffs
 from repro.cublastp.config import CuBlastpConfig
 from repro.cublastp.cpu_phases import CpuPhaseResult, run_cpu_phases
@@ -41,7 +41,7 @@ class GpuPhaseResult:
     """Kernel outputs + profiles of the GPU side of one search."""
 
     profiles: dict[str, KernelProfile]
-    extensions: list[UngappedExtension]
+    extensions: ExtensionArray
     num_hits: int
     num_seeds: int
     survival_ratio: float

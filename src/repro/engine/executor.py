@@ -367,13 +367,15 @@ class BatchExecutor:
         The ownership inversion of :meth:`_stream_process` — each task is
         a *block index*, not a query. Workers sweep their blocks for the
         whole batch and ship back only the per-query surviving extensions
-        (plain int lists); the parent merges them in block order — which
-        the two-hit lexsort makes equal to the one-shot extension list —
-        and finishes gapped extension + traceback per query locally.
+        (six aligned plain-int columns each); the parent concatenates the
+        columns in block order — which the two-hit lexsort makes equal to
+        the one-shot extension array — and finishes gapped extension +
+        traceback per query locally.
         """
         from repro.core.pipeline import BlastpPipeline
-        from repro.core.results import UngappedExtension
+        from repro.core.results import ExtensionArray
         from repro.core.sweep import num_sweep_blocks, sweep_finish
+        from repro.verify.canonical import extensions_from_payload
         from repro.engine.procpool import (
             EngineSpec,
             ProcessPool,
@@ -399,7 +401,7 @@ class BatchExecutor:
         )
         pool = ProcessPool(task_spec, jobs=self.jobs, mp_context=self.mp_context)
         n = len(good)
-        extensions: list[list[UngappedExtension]] = [[] for _ in range(n)]
+        extensions: list[list[ExtensionArray]] = [[] for _ in range(n)]
         total_hits = [0] * n
         total_seeds = [0] * n
         sweep_error: Exception | None = None
@@ -415,13 +417,13 @@ class BatchExecutor:
                     # whole batch fails rather than silently under-report.
                     sweep_error = error
                     break
+                block_items = 0
                 for q in range(n):
                     total_hits[q] += payload["num_hits"][q]
                     total_seeds[q] += payload["num_seeds"][q]
-                    extensions[q].extend(
-                        UngappedExtension(s, qs, qe, ss, se, score)
-                        for s, qs, qe, ss, se, score in payload["extensions"][q]
-                    )
+                    part = extensions_from_payload(payload["extensions"][q])
+                    extensions[q].append(part)
+                    block_items += len(part)
                 if self.events is not None:
                     # Worker-timed sweep: the worker already paired the
                     # phases; the parent records the closing edge with the
@@ -430,7 +432,7 @@ class BatchExecutor:
                         engine_name,
                         "db_sweep_block",
                         "end",
-                        work_items=sum(len(payload["extensions"][q]) for q in range(n)),
+                        work_items=block_items,
                         wall_ms=payload["wall_ms"],
                     )
         finally:
@@ -447,7 +449,7 @@ class BatchExecutor:
                     result, _counts = sweep_finish(
                         pipe,
                         resolved,
-                        extensions[q],
+                        ExtensionArray.concat(extensions[q]),
                         total_hits[q],
                         total_seeds[q],
                         pipe.cutoffs(resolved),

@@ -308,17 +308,16 @@ class SweepBlockSpec:
             state.cutoffs,
             seq_id_base=state.block_starts[block_index],
         )
+        from repro.verify.canonical import extensions_to_payload
+
         return {
             "block": block_index,
             "num_hits": [int(n) for n in num_hits],
             "num_seeds": [int(n) for n in num_seeds],
+            # Columnar marshalling: six aligned int lists per query, not
+            # one nested list per record.
             "extensions": [
-                [
-                    [e.seq_id, e.query_start, e.query_end,
-                     e.subject_start, e.subject_end, e.score]
-                    for e in per_query
-                ]
-                for per_query in extensions
+                extensions_to_payload(per_query) for per_query in extensions
             ],
             "wall_ms": (time.perf_counter() - t0) * 1e3,
         }

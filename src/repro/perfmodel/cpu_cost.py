@@ -12,8 +12,10 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.gapped import GappedExtension
-from repro.core.results import UngappedExtension
+from repro.core.results import ExtensionArray, UngappedExtension
 from repro.perfmodel.calibration import CPU_CLOCK_GHZ, CostConstants
 
 
@@ -21,7 +23,9 @@ def _cycles_to_ms(cycles: float, clock_ghz: float = CPU_CLOCK_GHZ) -> float:
     return cycles / (clock_ghz * 1e9) * 1e3
 
 
-def ungapped_cells(extensions: Sequence[UngappedExtension], x_drop: int) -> int:
+def ungapped_cells(
+    extensions: "ExtensionArray | Sequence[UngappedExtension]", x_drop: int
+) -> int:
     """Residues examined across all ungapped extensions.
 
     Each walk overshoots its best prefix until the x-drop fires, by up to
@@ -29,6 +33,8 @@ def ungapped_cells(extensions: Sequence[UngappedExtension], x_drop: int) -> int:
     charges the returned segment length plus that overshoot — the honest
     approximation DESIGN.md documents for cost accounting.
     """
+    if isinstance(extensions, ExtensionArray):
+        return int(np.sum(extensions.lengths)) + 2 * x_drop * len(extensions)
     return sum(e.length + 2 * x_drop for e in extensions)
 
 

@@ -19,7 +19,7 @@ import hashlib
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
-    from repro.core.results import Alignment, SearchResult
+    from repro.core.results import Alignment, ExtensionArray, SearchResult
 
 #: Bump when the canonical rendering changes incompatibly (golden
 #: snapshots embed it, so stale snapshots fail loudly instead of silently
@@ -124,6 +124,28 @@ def alignments_from_payload(payload: list[dict]) -> list:
         Alignment(**{**d, "bit_score": float(d["bit_score"]), "evalue": float(d["evalue"])})
         for d in payload
     ]
+
+
+def extensions_to_payload(extensions) -> list[list[int]]:
+    """Extension stream as six aligned plain-int columns.
+
+    The sweep workers ship phase-2 survivors back to the parent in
+    columnar form — one list per :class:`~repro.core.results.ExtensionArray`
+    field, plain builtins, order preserved. All-integer columns cross a
+    pickle boundary exactly, so ``extensions_from_payload`` is a perfect
+    inverse (the conformance matrix's batched-process variants prove it
+    row for row).
+    """
+    from repro.core.results import ExtensionArray
+
+    return ExtensionArray.coerce(extensions).to_columns()
+
+
+def extensions_from_payload(columns: list[list[int]]) -> "ExtensionArray":
+    """Inverse of :func:`extensions_to_payload`."""
+    from repro.core.results import ExtensionArray
+
+    return ExtensionArray.from_columns(columns)
 
 
 def result_to_payload(result: "SearchResult") -> dict:

@@ -1,0 +1,27 @@
+"""Fixture: triggers exactly ``no-per-record-loop-in-phase``."""
+
+
+def phase_gapped(extensions, cutoff):
+    out = []
+    for e in extensions:  # record loop in a phase function
+        if e.score >= cutoff:
+            out.append(e)
+    scores = [e.score for e in sorted(extensions)]  # comprehension too
+    for e in extensions.to_records():  # the shim is also a record loop
+        out.append(e)
+    return out, scores
+
+
+def not_a_phase(extensions):
+    # Outside phase_* functions record loops are fine (cold paths).
+    return [e for e in extensions]
+
+
+def phase_columnar_ok(extensions, order, idx):
+    # Index/column loops are the columnar idiom, not record loops.
+    total = 0
+    for k in order:
+        total += int(extensions.score[k])
+    for _ in idx:
+        pass
+    return total

@@ -30,6 +30,7 @@ FIXTURE_RULES = {
     "event_pairing_violation.py": "event-begin-end-pairing",
     "bare_except_violation.py": "no-bare-except",
     "api_all_violation.py": "public-api-all",
+    "record_loop_violation.py": "no-per-record-loop-in-phase",
 }
 
 

@@ -1,0 +1,108 @@
+"""Property tests: vectorised coverage pass vs the retired scalar loop.
+
+``covered_seed_mask`` replaced a per-seed Python loop (keep a seed iff it
+starts beyond the previous kept extension's subject end on its diagonal)
+with a searchsorted pointer-jumping chase. These tests pin the two
+implementations together over adversarial inputs — including duplicate
+subject positions and zero-length reaches, which the real pipeline never
+produces but the exactness argument must survive.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.two_hit import covered_seed_mask
+
+# One seed row: (seq_id, diagonal, subject_pos, extension length beyond the
+# seed start). s_end = spos + ext_len >= spos, the only invariant the real
+# pipeline guarantees that the wave algorithm relies on.
+seed_rows = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.integers(0, 4),
+        st.integers(0, 60),
+        st.integers(0, 25),
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+
+def sorted_columns(rows):
+    rows = sorted(rows, key=lambda r: (r[0], r[1], r[2]))
+    seq = np.array([r[0] for r in rows], dtype=np.int64)
+    diag = np.array([r[1] for r in rows], dtype=np.int64)
+    spos = np.array([r[2] for r in rows], dtype=np.int64)
+    s_end = np.array([r[2] + r[3] for r in rows], dtype=np.int64)
+    return seq, diag, spos, s_end
+
+
+def scalar_cover(seq, diag, spos, s_end):
+    """The retired per-seed loop, verbatim semantics."""
+    reach = {}
+    kept = []
+    for i in range(seq.size):
+        key = (int(seq[i]), int(diag[i]))
+        if int(spos[i]) > reach.get(key, -1):
+            kept.append(True)
+            reach[key] = int(s_end[i])
+        else:
+            kept.append(False)
+    return kept
+
+
+class TestCoveredSeedMask:
+    @given(seed_rows)
+    @settings(max_examples=150)
+    def test_matches_scalar_loop(self, rows):
+        seq, diag, spos, s_end = sorted_columns(rows)
+        got = covered_seed_mask(seq, diag, spos, s_end).tolist()
+        assert got == scalar_cover(seq, diag, spos, s_end)
+
+    @given(seed_rows)
+    @settings(max_examples=60)
+    def test_first_seed_of_every_group_kept(self, rows):
+        seq, diag, spos, s_end = sorted_columns(rows)
+        kept = covered_seed_mask(seq, diag, spos, s_end)
+        for i in range(seq.size):
+            first = i == 0 or (seq[i], diag[i]) != (seq[i - 1], diag[i - 1])
+            if first:
+                assert kept[i]
+
+    @given(seed_rows)
+    @settings(max_examples=60)
+    def test_kept_chain_is_uncovered(self, rows):
+        # Within a group, each kept seed starts past the previous kept
+        # seed's reach — the defining property of the coverage rule.
+        seq, diag, spos, s_end = sorted_columns(rows)
+        kept = covered_seed_mask(seq, diag, spos, s_end)
+        reach = {}
+        for i in np.flatnonzero(kept):
+            key = (int(seq[i]), int(diag[i]))
+            if key in reach:
+                assert int(spos[i]) > reach[key]
+            reach[key] = int(s_end[i])
+
+    def test_empty(self):
+        z = np.zeros(0, dtype=np.int64)
+        assert covered_seed_mask(z, z, z, z).tolist() == []
+
+    def test_single_chain_long_wave(self):
+        # One diagonal, every extension reaching just past its seed: the
+        # wave loop must walk the whole chain (worst case), keeping all.
+        n = 64
+        seq = np.zeros(n, dtype=np.int64)
+        diag = np.zeros(n, dtype=np.int64)
+        spos = np.arange(0, 2 * n, 2, dtype=np.int64)
+        s_end = spos + 1
+        assert covered_seed_mask(seq, diag, spos, s_end).all()
+
+    def test_total_cover_keeps_only_first(self):
+        n = 20
+        seq = np.zeros(n, dtype=np.int64)
+        diag = np.zeros(n, dtype=np.int64)
+        spos = np.arange(n, dtype=np.int64)
+        s_end = np.full(n, 1000, dtype=np.int64)
+        kept = covered_seed_mask(seq, diag, spos, s_end)
+        assert kept.tolist() == [True] + [False] * (n - 1)

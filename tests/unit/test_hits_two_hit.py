@@ -147,4 +147,4 @@ class TestSelectSeedsAndExtend:
         exts, seeds = select_seeds_and_extend(
             hits.hits, db, tiny_pipeline.pssm, 3, 40, tiny_cutoffs.x_drop_ungapped
         )
-        assert seeds == 0 and exts == []
+        assert seeds == 0 and len(exts) == 0

@@ -6,6 +6,8 @@ import pytest
 from repro.alphabet import encode
 from repro.core.results import UngappedExtension
 from repro.core.ungapped import (
+    NEG_SENTINEL,
+    _batch_direction,
     batch_ungapped_extend,
     ungapped_extend,
     ungapped_extend_scalar,
@@ -143,6 +145,67 @@ class TestImplementationEquivalence:
         z = np.zeros(0, dtype=np.int64)
         out = batch_ungapped_extend(pssm, np.zeros(1, np.uint8), z, z, z, z, z, 3, 10)
         assert all(a.size == 0 for a in out)
+
+
+class TestBatchDirection:
+    """Edge cases of the windowed multi-row x-drop reduction."""
+
+    def test_empty_batch(self):
+        gain, steps, over = _batch_direction(np.zeros((0, 8), dtype=np.int64), 10)
+        assert gain.shape == steps.shape == over.shape == (0,)
+
+    def test_zero_width_window(self):
+        gain, steps, over = _batch_direction(np.zeros((3, 0), dtype=np.int64), 10)
+        assert gain.tolist() == steps.tolist() == [0, 0, 0]
+        assert not over.any()
+
+    def test_all_negative_rows_yield_zero(self):
+        deltas = np.full((4, 6), -8, dtype=np.int64)
+        gain, steps, over = _batch_direction(deltas, 10)
+        assert gain.tolist() == [0] * 4
+        assert steps.tolist() == [0] * 4
+        # -8, -16: the drop fires inside the window for every row.
+        assert not over.any()
+
+    def test_drop_exactly_at_x_drop_keeps_walking(self):
+        # best - cur == x_drop must NOT stop (the rule is strictly greater):
+        # cum 5, -10 (gap 15 == x_drop) then +20 recovers to 10.
+        row_eq = [5, -15, 20]
+        # With x_drop one smaller the same row stops at the dip and keeps
+        # the step-1 prefix.
+        deltas = np.array([row_eq], dtype=np.int64)
+        gain, steps, over = _batch_direction(deltas, 15)
+        assert (int(gain[0]), int(steps[0])) == (10, 3)
+        assert bool(over[0])  # walked the whole window without dropping
+        gain, steps, over = _batch_direction(deltas, 14)
+        assert (int(gain[0]), int(steps[0])) == (5, 1)
+        assert not over[0]
+
+    def test_single_column_windows(self):
+        deltas = np.array([[3], [-5], [NEG_SENTINEL]], dtype=np.int64)
+        gain, steps, over = _batch_direction(deltas, 3)
+        assert gain.tolist() == [3, 0, 0]
+        assert steps.tolist() == [1, 0, 0]
+        # Row 0 never dropped (true overrun candidate); rows 1-2 dropped.
+        assert over.tolist() == [True, False, False]
+
+    def test_sentinel_tail_mimics_exhaustion(self):
+        # A row whose walk runs out of residues mid-window: the sentinel
+        # fires the drop, so the row is exact, not flagged as overrun.
+        deltas = np.array([[4, 2, NEG_SENTINEL, NEG_SENTINEL]], dtype=np.int64)
+        gain, steps, over = _batch_direction(deltas, 10)
+        assert (int(gain[0]), int(steps[0])) == (6, 2)
+        assert not over[0]
+
+    def test_rows_independent(self):
+        # One overruning row must not disturb its neighbours' results.
+        deltas = np.array(
+            [[1, 1, 1, 1], [5, -20, 0, 0], [-1, 6, -1, -1]], dtype=np.int64
+        )
+        gain, steps, over = _batch_direction(deltas, 10)
+        assert gain.tolist() == [4, 5, 5]
+        assert steps.tolist() == [4, 1, 2]
+        assert over.tolist() == [True, False, True]
 
 
 class TestInvariants:
