@@ -1,0 +1,295 @@
+"""Tracked serving-latency benchmark: open-loop load vs the HTTP service.
+
+The serving counterpart of ``bench_batch_throughput.py``: every run
+writes a JSON record (``BENCH_serve_latency.json`` by default) with
+p50/p95/p99 request latency, error rate, cache hit rate, and coalescing
+batch size at each offered qps level, so the serving trajectory —
+coalescer → executor → cache — is tracked the same way batch throughput
+is.
+
+The generator is *open-loop*: requests fire on a fixed schedule derived
+from the offered rate, regardless of how fast earlier requests complete,
+and latency is measured from the request's *scheduled* arrival. A
+server that falls behind therefore shows the queueing delay honestly
+(no coordinated omission), and an overloaded server surfaces as 429s in
+the error/status counts rather than as a silently slower schedule.
+
+Each qps level gets a fresh server (in-process :class:`ServeHandle` on an
+ephemeral port, real sockets) so levels don't share cache warmth; within
+a level, requests cycle a fixed pool of distinct queries, so the steady
+state mixes cold misses and cache hits like repeated production traffic.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py \
+        --qps 2,8 --duration 3 --distinct 6
+
+CI drives a fixed low qps with ``--assert-zero-errors`` and a generous
+``--assert-max-p95-ms`` bound — the gate is "the service is up, coalesces,
+and answers correctly under sustained load", not a hardware race.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table  # noqa: E402
+
+from repro.core import SearchParams  # noqa: E402
+from repro.engine import make_engine  # noqa: E402
+from repro.io import generate_database, generate_query  # noqa: E402
+from repro.io.workloads import WorkloadSpec  # noqa: E402
+from repro.serve import SearchService, ServeHandle  # noqa: E402
+
+#: Schema version of the JSON record (bump on incompatible change).
+BENCH_SCHEMA_VERSION = 1
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(round(q / 100.0 * len(sorted_values) + 0.5)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def build_workload(args) -> tuple[Path, list[str], SearchParams, dict]:
+    """Generate the database, save it binary, and build the query pool."""
+    spec = WorkloadSpec(
+        name="serve",
+        num_sequences=args.db_sequences,
+        mean_length=args.mean_length,
+        homolog_fraction=0.05,
+        seed=args.seed,
+        emulated_residues=110_000_000,
+    )
+    db = generate_database(spec)
+    fd, name = tempfile.mkstemp(prefix="repro-bench-serve-", suffix=".rpdb")
+    os.close(fd)
+    db.save(name)
+    pool = [
+        generate_query(80 + 20 * (i % 4), spec, query_seed=args.seed + i)
+        for i in range(args.distinct)
+    ]
+    params = SearchParams(**spec.search_params_kwargs)
+    workload = {
+        "db_sequences": len(db),
+        "db_residues": int(db.codes.size),
+        "distinct_queries": args.distinct,
+        "seed": args.seed,
+        "engine": args.engine,
+    }
+    return Path(name), pool, params, workload
+
+
+def _one_request(base: str, query_id: str, sequence: str, timeout: float) -> dict:
+    body = json.dumps({"query_id": query_id, "sequence": sequence}).encode()
+    req = urllib.request.Request(base + "/search", data=body, method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            resp.read()
+            return {"status": resp.status, "cache": resp.headers.get("X-Cache", "-")}
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return {"status": exc.code, "cache": "-"}
+    except Exception as exc:  # connection-level failure: worst kind of error
+        return {"status": 0, "cache": "-", "detail": str(exc)}
+
+
+def run_level(
+    args, db_path: Path, pool: list[str], params: SearchParams, qps: float
+) -> dict:
+    """One offered-qps level against a fresh server: open-loop schedule."""
+    engine = make_engine(args.engine, params)
+    service = SearchService(
+        db_path,
+        engine=engine,
+        backend=args.backend,
+        jobs=args.jobs,
+        mode=args.mode,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        cache_capacity=args.cache_capacity,
+    )
+    num_requests = max(1, int(qps * args.duration))
+    interval = 1.0 / qps
+    samples: list[dict] = [{} for _ in range(num_requests)]
+    lock = threading.Lock()
+
+    with ServeHandle(service) as handle:
+        base = f"http://127.0.0.1:{handle.port}"
+
+        def fire(i: int, scheduled: float) -> None:
+            out = _one_request(
+                base, f"load-{i:05d}", pool[i % len(pool)], args.timeout
+            )
+            out["latency_ms"] = (time.perf_counter() - scheduled) * 1e3
+            with lock:
+                samples[i] = out
+
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=args.connections) as senders:
+            for i in range(num_requests):
+                scheduled = t0 + i * interval
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                senders.submit(fire, i, scheduled)
+        wall_s = time.perf_counter() - t0
+        stats = service.stats_dict()
+
+    latencies = sorted(s["latency_ms"] for s in samples if s)
+    status_counts: dict[str, int] = {}
+    for s in samples:
+        key = str(s.get("status", "lost"))
+        status_counts[key] = status_counts.get(key, 0) + 1
+    ok = status_counts.get("200", 0)
+    errors = num_requests - ok
+    hits = sum(1 for s in samples if s.get("cache") == "HIT")
+    return {
+        "offered_qps": qps,
+        "duration_s": args.duration,
+        "requests": num_requests,
+        "completed": ok,
+        "errors": errors,
+        "error_rate": round(errors / num_requests, 4),
+        "status_counts": dict(sorted(status_counts.items())),
+        "achieved_qps": round(num_requests / wall_s, 3),
+        "cache_hit_rate": round(hits / num_requests, 4),
+        "mean_batch_size": stats["coalescer"]["mean_batch_size"],
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50), 2),
+            "p95": round(percentile(latencies, 95), 2),
+            "p99": round(percentile(latencies, 99), 2),
+            "mean": round(sum(latencies) / len(latencies), 2) if latencies else 0.0,
+            "max": round(latencies[-1], 2) if latencies else 0.0,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--engine", default="cublastp")
+    ap.add_argument("--db-sequences", type=int, default=200)
+    ap.add_argument("--mean-length", type=int, default=120)
+    ap.add_argument("--seed", type=int, default=20140519)
+    ap.add_argument("--distinct", type=int, default=6,
+                    help="distinct queries cycled by the generator "
+                    "(smaller => higher steady-state cache hit rate)")
+    ap.add_argument("--qps", default="2,6",
+                    help="comma-separated offered-qps levels")
+    ap.add_argument("--duration", type=float, default=3.0,
+                    help="seconds of offered load per level")
+    ap.add_argument("--timeout", type=float, default=30.0,
+                    help="per-request client timeout (s)")
+    ap.add_argument("--connections", type=int, default=16,
+                    help="max concurrent client connections")
+    ap.add_argument("--backend", default="thread",
+                    choices=("thread", "process"))
+    ap.add_argument("--jobs", type=int, default=1)
+    ap.add_argument("--mode", default="db-sweep",
+                    choices=("per-query", "db-sweep"))
+    ap.add_argument("--window-ms", type=float, default=20.0)
+    ap.add_argument("--max-batch", type=int, default=16)
+    ap.add_argument("--max-pending", type=int, default=256)
+    ap.add_argument("--cache-capacity", type=int, default=1024)
+    ap.add_argument("--out", default=str(Path(__file__).parent.parent
+                                         / "BENCH_serve_latency.json"))
+    ap.add_argument("--assert-zero-errors", action="store_true",
+                    help="fail if any level had a non-200 response (CI gate)")
+    ap.add_argument("--assert-max-p95-ms", type=float, metavar="MS",
+                    help="fail if any level's p95 latency exceeds MS (CI gate)")
+    args = ap.parse_args(argv)
+
+    qps_levels = [float(q) for q in args.qps.split(",") if q.strip()]
+    print(f"serve latency: {args.db_sequences} sequences, engine={args.engine}, "
+          f"backend={args.backend}, mode={args.mode}, "
+          f"window={args.window_ms}ms, cpu_count={os.cpu_count()}")
+
+    db_path, pool, params, workload = build_workload(args)
+    runs = []
+    try:
+        for qps in qps_levels:
+            level = run_level(args, db_path, pool, params, qps)
+            runs.append(level)
+            lat = level["latency_ms"]
+            print(f"  qps={qps:g}: {level['requests']} requests, "
+                  f"errors={level['errors']}, hit_rate={level['cache_hit_rate']}, "
+                  f"batch={level['mean_batch_size']}, "
+                  f"p50={lat['p50']}ms p95={lat['p95']}ms p99={lat['p99']}ms")
+    finally:
+        os.unlink(db_path)
+
+    record = {
+        "bench": "serve_latency",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workload": workload,
+        "server": {
+            "backend": args.backend,
+            "jobs": args.jobs,
+            "mode": args.mode,
+            "window_ms": args.window_ms,
+            "max_batch": args.max_batch,
+            "max_pending": args.max_pending,
+            "cache_capacity": args.cache_capacity,
+        },
+        "runs": runs,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    print_table(
+        "serve latency",
+        ["qps", "requests", "errors", "hit rate", "batch", "p50 ms", "p95 ms", "p99 ms"],
+        [
+            [
+                r["offered_qps"], r["requests"], r["errors"], r["cache_hit_rate"],
+                r["mean_batch_size"], r["latency_ms"]["p50"],
+                r["latency_ms"]["p95"], r["latency_ms"]["p99"],
+            ]
+            for r in runs
+        ],
+    )
+
+    if args.assert_zero_errors:
+        bad = [(r["offered_qps"], r["status_counts"]) for r in runs if r["errors"]]
+        if bad:
+            print(f"FAIL: non-200 responses under offered load: {bad}",
+                  file=sys.stderr)
+            return 1
+        print("OK: zero errors at every offered-qps level")
+
+    if args.assert_max_p95_ms is not None:
+        worst = max(runs, key=lambda r: r["latency_ms"]["p95"])
+        if worst["latency_ms"]["p95"] > args.assert_max_p95_ms:
+            print(f"FAIL: p95 {worst['latency_ms']['p95']}ms at "
+                  f"qps={worst['offered_qps']} exceeds bound "
+                  f"{args.assert_max_p95_ms}ms", file=sys.stderr)
+            return 1
+        print(f"OK: worst p95 {worst['latency_ms']['p95']}ms <= "
+              f"{args.assert_max_p95_ms}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

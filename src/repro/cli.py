@@ -9,10 +9,16 @@ Commands
 ``makedb``
     Generate a synthetic database (the workload generator) as FASTA, for
     trying the tool without real data.
-``db build`` / ``db inspect``
+``db build`` / ``db inspect`` / ``db stamp``
     Convert a FASTA database to the versioned binary format (mmap-loaded,
-    no re-encoding on open) and print a saved database's header and
-    statistics.
+    no re-encoding on open), print a saved database's header and
+    statistics, and bump (or set) the header's content-version stamp —
+    the generation counter the serving layer's result cache keys on.
+``serve``
+    Run the always-on HTTP search service: concurrent requests coalesce
+    into executor batches, results are cached by
+    ``(query, db-version, params)``, overload sheds with 429 (see
+    :mod:`repro.serve` and docs/SERVING.md).
 ``profile``
     Run a search and print the simulated GPU kernel profiles and the
     end-to-end breakdown (the Fig. 19 view for your own inputs).
@@ -186,6 +192,7 @@ def cmd_db_inspect(args: argparse.Namespace) -> int:
         head = storage.read_header(args.database)
         print(f"{args.database}: repro binary database")
         print(f"  format version  {head['version']}")
+        print(f"  db version      {head['db_version']}")
         print(f"  file size       {head['file_bytes']:,} B")
         print(f"  codes section   {head['codes_len']:,} B @ {head['off_codes']}")
         print(f"  offsets section {(head['num_sequences'] + 1) * 8:,} B @ {head['off_offsets']}")
@@ -197,6 +204,56 @@ def cmd_db_inspect(args: argparse.Namespace) -> int:
     if args.identifiers:
         for i in range(min(args.identifiers, len(db))):
             print(f"    [{i}] {db.identifier(i)} ({int(db.lengths[i])} aa)")
+    return 0
+
+
+def cmd_db_stamp(args: argparse.Namespace) -> int:
+    if storage.sniff_format(args.database) != "binary":
+        raise SystemExit(f"error: {args.database}: not a binary database")
+    old = storage.read_db_version(args.database)
+    new = storage.stamp_db_version(args.database, args.set)
+    print(f"{args.database}: db_version {old} -> {new}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import SearchService, serve_forever
+
+    # Binary paths pass through as paths — the header's version stamp
+    # keys the result cache and workers mmap the file directly. FASTA
+    # loads in-memory (stamp 0: caching works, invalidation has no file
+    # stamp to watch).
+    if storage.sniff_format(args.database) == "binary":
+        db = args.database
+    else:
+        db = _load_database(args.database)
+    engine = make_engine(args.engine, _build_params(args))
+    service = SearchService(
+        db,
+        engine=engine,
+        backend=args.backend,
+        jobs=args.jobs,
+        mode=args.mode,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        cache_capacity=args.cache_capacity,
+    )
+    service.start()
+    print(
+        f"serving {args.database} on http://{args.host}:{args.port} "
+        f"(engine={args.engine}, backend={args.backend}, jobs={service.executor.jobs}, "
+        f"mode={args.mode}, window={args.window_ms}ms, db_version={service.db_version})",
+        flush=True,
+    )
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
     return 0
 
 
@@ -243,9 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_search_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("query", help="query FASTA file or literal residue string")
-        p.add_argument("database", help="database FASTA file")
+    def add_param_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--evalue", type=float, default=10.0)
         p.add_argument("--threshold", type=int, default=11, help="neighbourhood T")
         p.add_argument("--window", type=int, default=40, help="two-hit window A")
@@ -257,6 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="evaluate E-values as if the database had this many residues",
         )
         p.add_argument("--threads", type=int, default=4, help="CPU threads (model)")
+
+    def add_search_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("query", help="query FASTA file or literal residue string")
+        p.add_argument("database", help="database FASTA file")
+        add_param_args(p)
 
     p_search = sub.add_parser("search", help="run a BLASTP search")
     add_search_args(p_search)
@@ -308,6 +368,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="also list the first N sequence identifiers",
     )
     p_inspect.set_defaults(func=cmd_db_inspect)
+    p_stamp = db_sub.add_parser(
+        "stamp",
+        help="bump (or set) the content-version stamp in a binary database "
+        "header — serving caches key on it, so a bump invalidates them",
+    )
+    p_stamp.add_argument("database", help="saved binary database path")
+    p_stamp.add_argument(
+        "--set",
+        type=int,
+        default=None,
+        metavar="N",
+        help="set the stamp to N instead of incrementing",
+    )
+    p_stamp.set_defaults(func=cmd_db_stamp)
+
+    p_serve = sub.add_parser("serve", help="run the always-on HTTP search service")
+    p_serve.add_argument("database", help="database FASTA file or saved binary path")
+    add_param_args(p_serve)
+    p_serve.add_argument("--engine", choices=sorted(ENGINE_NAMES), default="cublastp")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8713)
+    p_serve.add_argument(
+        "--backend",
+        choices=BatchExecutor.BACKENDS,
+        default="thread",
+        help="executor backend for coalesced batches (process keeps a warm "
+        "worker pool across coalescing windows)",
+    )
+    p_serve.add_argument("--jobs", type=_positive_int, default=1)
+    p_serve.add_argument(
+        "--mode",
+        choices=BatchExecutor.MODES,
+        default="db-sweep",
+        help="batch scheduling mode (db-sweep: one database pass per "
+        "coalesced batch)",
+    )
+    p_serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=20.0,
+        help="coalescing window: a batch closes at latest this long after "
+        "its first arrival",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=_positive_int, default=32, help="requests per batch at most"
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=256,
+        help="admission bound on queued+executing requests (past it: 429)",
+    )
+    p_serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=1024,
+        help="result-cache entries (0 disables caching)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_makedb = sub.add_parser("makedb", help="generate a synthetic FASTA database")
     p_makedb.add_argument("output", help="output FASTA path")

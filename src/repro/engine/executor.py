@@ -147,6 +147,17 @@ class BatchExecutor:
     block_residues:
         Target residues per sweep block (db-sweep mode; default
         :data:`~repro.core.sweep.DEFAULT_BLOCK_RESIDUES`).
+    keep_pool:
+        Keep the process backend's worker pool warm across batches
+        (per-query mode). An always-on service runs one small batch per
+        coalescing window; without this every window would pay worker
+        spawn + engine build + database ``mmap``. The kept pool is bound
+        to one database path; call :meth:`close` (or use the executor as
+        a context manager) to retire it. Successive batches reuse the
+        same workers — crash respawn budgets carry across batches, and a
+        fully dead pool fails subsequent batches fast instead of hanging.
+    max_respawns:
+        Per-worker-slot crash budget for the process backend (default 2).
     """
 
     #: Execution backends ``backend`` accepts.
@@ -172,6 +183,8 @@ class BatchExecutor:
         mode: str = "per-query",
         clamp_jobs: bool = True,
         block_residues: int | None = None,
+        keep_pool: bool = False,
+        max_respawns: int = 2,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
@@ -207,6 +220,11 @@ class BatchExecutor:
         self.chunk_size = chunk_size if chunk_size is not None else 1
         self.mp_context = mp_context
         self.spec = spec
+        self.keep_pool = keep_pool
+        self.max_respawns = max_respawns
+        self._pool: Any | None = None
+        self._pool_key: tuple | None = None
+        self._pool_cleanup: Any | None = None
 
     @property
     def jobs_clamped(self) -> bool:
@@ -471,7 +489,6 @@ class BatchExecutor:
         """The process-backend stream: warm workers over the binary format."""
         from repro.engine.procpool import (
             EngineSpec,
-            ProcessPool,
             QueryTaskSpec,
             database_path_for_workers,
         )
@@ -484,7 +501,7 @@ class BatchExecutor:
             db_path=str(db_path),
             collect_events=self.events is not None,
         )
-        pool = ProcessPool(task_spec, jobs=self.jobs, mp_context=self.mp_context)
+        pool, pool_owned = self._acquire_pool(task_spec, cleanup)
         # Query ids are recorded as the pool consumes the (lazy) stream,
         # so an outcome can always name its query even on a crash.
         ids: dict[int, str] = {}
@@ -523,9 +540,68 @@ class BatchExecutor:
                     index, query_id, result=result_from_payload(payload["result"])
                 )
         finally:
-            pool.shutdown()
-            if cleanup is not None:
-                cleanup()
+            if pool_owned:
+                pool.shutdown()
+                if cleanup is not None:
+                    cleanup()
+
+    # -- pool residency ----------------------------------------------------
+
+    def _acquire_pool(self, task_spec: Any, cleanup: Any) -> tuple[Any, bool]:
+        """The process pool for this batch: ``(pool, owned_by_this_call)``.
+
+        Without :attr:`keep_pool` the pool is built fresh and the caller
+        shuts it down after the batch. With it, one persistent pool is
+        kept warm per ``(db_path, collect_events)`` binding; switching the
+        binding retires the old pool (and any temp-file spill it mapped).
+        """
+        from repro.engine.procpool import ProcessPool
+
+        if not self.keep_pool:
+            return (
+                ProcessPool(
+                    task_spec,
+                    jobs=self.jobs,
+                    mp_context=self.mp_context,
+                    max_respawns=self.max_respawns,
+                ),
+                True,
+            )
+        key = (task_spec.db_path, task_spec.collect_events)
+        if self._pool is not None and self._pool_key != key:
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPool(
+                task_spec,
+                jobs=self.jobs,
+                mp_context=self.mp_context,
+                max_respawns=self.max_respawns,
+                persistent=True,
+            )
+            self._pool_key = key
+            self._pool_cleanup = cleanup
+        return self._pool, False
+
+    @property
+    def process_pool(self) -> Any | None:
+        """The kept process pool, when one is alive (``keep_pool`` only)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Retire a kept process pool and its database spill (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_key = None
+        if self._pool_cleanup is not None:
+            self._pool_cleanup()
+            self._pool_cleanup = None
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def run(self, queries: Iterable[tuple[str, str]], db: "DatabaseLike") -> "BatchResult":
         """Run the whole batch and aggregate it into a :class:`BatchResult`."""

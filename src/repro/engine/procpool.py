@@ -451,6 +451,14 @@ class ProcessPool:
         builds and database mappings (the jobs=4-on-1-core regression the
         throughput benchmark recorded). The requested value stays
         readable as :attr:`requested_jobs`.
+    persistent:
+        Keep the workers warm across :meth:`run` calls instead of
+        shutting them down when each task stream ends — the always-on
+        serving mode, where every coalesced batch is one ``run`` and
+        paying a worker setup (engine build + database ``mmap``) per
+        batch would dominate latency. A persistent pool is retired with
+        an explicit :meth:`shutdown`; sequential ``run`` calls only (the
+        task queues are not re-entrant).
     """
 
     def __init__(
@@ -461,6 +469,7 @@ class ProcessPool:
         mp_context: str | None = None,
         max_respawns: int = 2,
         clamp_jobs: bool = False,
+        persistent: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
@@ -471,6 +480,14 @@ class ProcessPool:
         self.jobs = jobs
         self.ctx = multiprocessing.get_context(mp_context or default_start_method())
         self.max_respawns = max_respawns
+        self.persistent = persistent
+        self._started = False
+        self._closed = False
+        #: First task index of the next ``run`` call. Task indexes are
+        #: global across a persistent pool's lifetime so a straggler
+        #: result from an abandoned earlier stream can never be mistaken
+        #: for a current one (stale indexes are simply dropped).
+        self._task_base = 0
         self._results = self.ctx.Queue()
         self._slots = [
             _WorkerSlot(slot=i, respawns_left=max_respawns) for i in range(jobs)
@@ -485,6 +502,30 @@ class ProcessPool:
         self._next_chunk_id = 0
 
     # -- worker lifecycle --------------------------------------------------
+
+    def ensure_started(self) -> None:
+        """Spawn the worker set once (idempotent; used by persistent pools)."""
+        if self._closed:
+            raise RuntimeError("pool has been shut down")
+        if self._started:
+            return
+        for slot in self._slots:
+            if not slot.dead and slot.proc is None:
+                self._spawn(slot)
+        self._started = True
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live workers (fault-injection tests target these)."""
+        return [
+            slot.proc.pid
+            for slot in self._slots
+            if slot.proc is not None and slot.proc.is_alive() and slot.proc.pid
+        ]
+
+    @property
+    def alive_workers(self) -> int:
+        """Slots that have not exhausted their respawn budget."""
+        return len(self._alive_slots())
 
     def _spawn(self, slot: _WorkerSlot) -> None:
         slot.task_queue = self.ctx.Queue()
@@ -506,7 +547,7 @@ class ProcessPool:
                     None,
                     WorkerCrashError(
                         f"worker {slot.slot} died (exit code {exitcode}) with "
-                        f"query #{index} in flight"
+                        f"query #{index - self._task_base} in flight"
                     ),
                 )
                 self._items.pop(index, None)
@@ -572,8 +613,8 @@ class ProcessPool:
                 buffered[index] = (
                     None,
                     WorkerCrashError(
-                        f"no live workers left to requeue query #{index} "
-                        "(respawn budget spent)"
+                        f"no live workers left to requeue query "
+                        f"#{index - self._task_base} (respawn budget spent)"
                     ),
                 )
                 self._items.pop(index, None)
@@ -584,9 +625,9 @@ class ProcessPool:
     # -- scheduling --------------------------------------------------------
 
     @staticmethod
-    def _chunked(tasks: Iterable[Any], chunk_size: int) -> Iterator[list]:
+    def _chunked(tasks: Iterable[Any], chunk_size: int, start: int = 0) -> Iterator[list]:
         chunk: list = []
-        for indexed in enumerate(tasks):
+        for indexed in enumerate(tasks, start=start):
             chunk.append(indexed)
             if len(chunk) >= chunk_size:
                 yield chunk
@@ -607,19 +648,34 @@ class ProcessPool:
         and dispatched to the least-loaded live worker; at most
         ``max_in_flight_chunks`` (default ``2 * jobs``) chunks are
         outstanding, so an unbounded task stream gets backpressure.
+        Indexes yielded are relative to this call's task stream (0-based)
+        even on a persistent pool, whose internal indexes are global.
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         cap = max_in_flight_chunks if max_in_flight_chunks is not None else 2 * self.jobs
         if cap < self.jobs:
             raise ValueError("max_in_flight_chunks must be >= jobs")
-        for slot in self._slots:
-            self._spawn(slot)
-        chunk_iter = self._chunked(tasks, chunk_size)
+        self.ensure_started()
+        if self.persistent:
+            # A previous stream abandoned mid-flight (consumer stopped
+            # iterating) may have left bookkeeping behind; drop it so a
+            # later crash cannot try to requeue dead history. Results for
+            # those tasks still drain from the queue below and are
+            # discarded by the stale-index check.
+            for slot in self._slots:
+                slot.pending.clear()
+                slot.started.clear()
+                slot.chunks.clear()
+            self._chunk_members.clear()
+            self._chunk_of.clear()
+            self._items.clear()
+        base = self._task_base
+        chunk_iter = self._chunked(tasks, chunk_size, start=base)
         dispatched_all = False
         dispatched = 0
         buffered: dict[int, tuple[Any, Exception | None]] = {}
-        emit = 0
+        emit = base
         try:
             while True:
                 # Top up: assign chunks while under the in-flight bound.
@@ -634,7 +690,7 @@ class ProcessPool:
                                     None,
                                     WorkerCrashError(
                                         "no live workers left for query "
-                                        f"#{index} (respawn budget spent)"
+                                        f"#{index - base} (respawn budget spent)"
                                     ),
                                 )
                                 dispatched += 1
@@ -651,9 +707,9 @@ class ProcessPool:
                     dispatched += len(chunk)
                 while emit in buffered:
                     payload, error = buffered.pop(emit)
-                    yield emit, payload, error
+                    yield emit - base, payload, error
                     emit += 1
-                if dispatched_all and emit >= dispatched:
+                if dispatched_all and emit - base >= dispatched:
                     return
                 try:
                     kind, worker_id, body = self._results.get(timeout=0.1)
@@ -679,6 +735,10 @@ class ProcessPool:
                     self._redispatch(requeue, buffered)
                     continue
                 index, payload = body
+                if index < base:
+                    # Straggler from an abandoned earlier stream on a
+                    # persistent pool; its bookkeeping is already gone.
+                    continue
                 if kind == "begin":
                     slot.started.add(index)
                     continue
@@ -691,10 +751,17 @@ class ProcessPool:
                 self._items.pop(index, None)
                 self._release(index)
         finally:
-            self.shutdown()
+            self._task_base = base + dispatched
+            if not self.persistent:
+                self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop every worker (sentinel, join, then terminate stragglers)."""
+        """Stop every worker (sentinel, join, then terminate stragglers).
+
+        Idempotent; a persistent pool cannot be restarted afterwards
+        (the shared result queue is closed for good).
+        """
+        self._started = False
         for slot in self._slots:
             if slot.proc is None:
                 continue
@@ -711,5 +778,7 @@ class ProcessPool:
                 slot.proc.terminate()
                 slot.proc.join(timeout=2)
             slot.proc = None
-        self._results.close()
-        self._results.join_thread()
+        if not self._closed:
+            self._closed = True
+            self._results.close()
+            self._results.join_thread()

@@ -289,17 +289,22 @@ class SequenceDatabase:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path, *, db_version: int | None = None) -> None:
         """Write the packed database to ``path`` in the versioned binary
         format (see :mod:`repro.io.storage`).
 
         The binary form (header + raw codes/offsets/identifier blob)
         reloads through ``mmap`` without re-encoding or pickling — the
-        role makeblastdb's volumes play for BLAST.
+        role makeblastdb's volumes play for BLAST. ``db_version`` sets
+        the header's content stamp (cache-invalidation key for the
+        serving layer); by default a fresh save stamps generation 1.
         """
         from repro.io import storage
 
-        storage.save_database(self, path)
+        if db_version is None:
+            storage.save_database(self, path)
+        else:
+            storage.save_database(self, path, db_version=db_version)
 
     @classmethod
     def load(cls, path, *, mmap: bool = True) -> "SequenceDatabase":

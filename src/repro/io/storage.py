@@ -17,6 +17,16 @@ back read-only. Nothing in the format is pickled, unlike the legacy
 
 Versioning: :data:`FORMAT_VERSION` is bumped on any layout change; a
 reader refuses files from the future rather than misparsing them.
+
+Separate from the *format* version, the header carries a *content*
+version stamp (``db_version``): a monotonically bumped int64 that names
+the database's content generation. Rebuilding or refreshing a database
+bumps the stamp (``repro db stamp``, :func:`stamp_db_version`), and the
+serving layer keys its result cache on it — so cached results for a
+replaced database become unreachable the moment the stamp changes,
+without any byte-level content hashing. The stamp lives in what was
+reserved header padding, so format version 1 files written before it
+read back as stamp 0.
 """
 
 from __future__ import annotations
@@ -40,10 +50,16 @@ FORMAT_VERSION = 1
 #: Zip local-file magic — how legacy ``.npz`` archives are recognised.
 _ZIP_MAGIC = b"PK\x03\x04"
 
-#: magic, version, flags, num_sequences, codes_len, ident_blob_len.
-_HEADER = struct.Struct("<4sHHqqq")
+#: magic, version, flags, num_sequences, codes_len, ident_blob_len,
+#: db_version (the content stamp; 0 on files written before it existed).
+_HEADER = struct.Struct("<4sHHqqqq")
 #: Fixed header span; offsets start here, 8-byte aligned for int64 maps.
 HEADER_SIZE = 64
+#: Byte offset of the ``db_version`` stamp within the header (the field
+#: :func:`stamp_db_version` rewrites in place).
+_STAMP_OFFSET = 32
+#: ``db_version`` given to newly saved databases.
+DEFAULT_DB_VERSION = 1
 
 
 def _section_layout(num_sequences: int, codes_len: int, ident_blob_len: int):
@@ -55,15 +71,20 @@ def _section_layout(num_sequences: int, codes_len: int, ident_blob_len: int):
     return off_offsets, off_ident_lengths, off_ident_blob, off_codes
 
 
-def save_database(db: "SequenceDatabase", path) -> None:
-    """Write ``db`` to ``path`` in the current binary format."""
+def save_database(db: "SequenceDatabase", path, *, db_version: int = DEFAULT_DB_VERSION) -> None:
+    """Write ``db`` to ``path`` in the current binary format.
+
+    ``db_version`` is the content stamp recorded in the header — bump it
+    (or :func:`stamp_db_version` in place) when the database content is
+    regenerated, so version-keyed caches stop serving stale results.
+    """
     path = Path(path)
     identifiers = db.identifiers
     ident_bytes = [ident.encode("utf-8") for ident in identifiers]
     ident_lengths = np.asarray([len(b) for b in ident_bytes], dtype="<u4")
     blob = b"".join(ident_bytes)
     header = _HEADER.pack(
-        MAGIC, FORMAT_VERSION, 0, len(db), int(db.codes.size), len(blob)
+        MAGIC, FORMAT_VERSION, 0, len(db), int(db.codes.size), len(blob), int(db_version)
     )
     with open(path, "wb") as f:
         f.write(header.ljust(HEADER_SIZE, b"\x00"))
@@ -84,8 +105,8 @@ def read_header(path) -> dict:
         raw = f.read(HEADER_SIZE)
     if len(raw) < _HEADER.size or raw[:4] != MAGIC:
         raise SequenceError(f"{path}: not a {MAGIC.decode()} database file")
-    magic, version, flags, num_sequences, codes_len, ident_blob_len = _HEADER.unpack(
-        raw[: _HEADER.size]
+    (magic, version, flags, num_sequences, codes_len, ident_blob_len, db_version) = (
+        _HEADER.unpack(raw[: _HEADER.size])
     )
     if version > FORMAT_VERSION:
         raise SequenceError(
@@ -100,6 +121,7 @@ def read_header(path) -> dict:
     return {
         "version": version,
         "flags": flags,
+        "db_version": db_version,
         "num_sequences": num_sequences,
         "codes_len": codes_len,
         "ident_blob_len": ident_blob_len,
@@ -109,6 +131,31 @@ def read_header(path) -> dict:
         "off_codes": off_codes,
         "file_bytes": path.stat().st_size,
     }
+
+
+def read_db_version(path) -> int:
+    """The content version stamp of a saved binary database.
+
+    Files written before the stamp existed read back as ``0`` (the field
+    occupies formerly reserved, zero-padded header space).
+    """
+    return int(read_header(path)["db_version"])
+
+
+def stamp_db_version(path, db_version: int | None = None) -> int:
+    """Rewrite a saved database's content stamp in place; return the new value.
+
+    ``db_version=None`` bumps the current stamp by one. Only the 8-byte
+    header field is touched — sections and mmaps of the old stamp's
+    content are unaffected, which is exactly the point: the stamp names a
+    content *generation* for cache invalidation, it is not a checksum.
+    """
+    head = read_header(path)  # validates magic/version before writing
+    new_version = head["db_version"] + 1 if db_version is None else int(db_version)
+    with open(path, "r+b") as f:
+        f.seek(_STAMP_OFFSET)
+        f.write(struct.pack("<q", new_version))
+    return new_version
 
 
 def sniff_format(path) -> str:

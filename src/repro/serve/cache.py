@@ -1,0 +1,165 @@
+"""Result cache: ``(query-hash, db-version, params)`` → canonical payload bytes.
+
+Layered on the canonical-payload machinery of :mod:`repro.verify.canonical`:
+what is cached is the *deterministic byte serialization* of a result's
+canonical payload (:func:`~repro.verify.canonical.payload_to_bytes`), so a
+cache hit is byte-identical to the cold-path response — a property the
+cache-correctness tests check with ``==`` on raw bytes, no float
+tolerance anywhere.
+
+Keys are content-addressed on the request side (SHA-256 of the query
+sequence, a digest over every :class:`~repro.core.statistics.SearchParams`
+field) and *generation*-addressed on the database side: the RPDB header's
+``db_version`` stamp (:func:`repro.io.storage.read_db_version`) names the
+content generation, so replacing or refreshing a database makes every old
+entry unreachable the moment the service re-reads the stamp.
+:meth:`ResultCache.invalidate_stale` additionally reclaims the memory of
+entries keyed under superseded stamps — exactly the stale ones, nothing
+else.
+
+Residency policy and bookkeeping mirror
+:class:`~repro.io.store.DatabaseStore`: LRU with a capacity bound and
+hit/miss/eviction counters, all mutated under one lock so concurrent
+request threads cannot lose stat updates (the race the serve test suite
+hammers for).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.statistics import SearchParams
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ResultCache`.
+
+    The same shape as :class:`~repro.io.store.StoreStats`, plus the
+    invalidation counter the db-version key adds.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Entries removed because their db-version stamp was superseded.
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def query_key(sequence: str) -> str:
+    """Content hash of a query sequence (the request-side cache key part)."""
+    return hashlib.sha256(sequence.encode()).hexdigest()[:32]
+
+
+def params_key(params: "SearchParams") -> str:
+    """Digest over every search-parameter field.
+
+    Unlike :func:`~repro.engine.compiled.compile_signature` (which keys
+    only the *compile-relevant* subset so compilations can be shared),
+    the cache must key the full execution-relevant set — two parameter
+    sets that compile identically but cut off E-values differently must
+    not share cached results. The scoring matrix contributes its name
+    and its raw score bytes; every other field contributes its ``repr``.
+    """
+    h = hashlib.sha256()
+    for f in dataclasses.fields(params):
+        value = getattr(params, f.name)
+        if f.name == "matrix":
+            h.update(f"matrix={value.name};".encode())
+            h.update(value.scores.tobytes())
+        else:
+            h.update(f"{f.name}={value!r};".encode())
+    return h.hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """One cached search, content- and generation-addressed."""
+
+    query: str
+    db_version: int
+    params: str
+
+
+class ResultCache:
+    """LRU of canonical payload bytes with locked stats.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries kept; the least recently used is evicted past
+        that. ``0`` disables caching entirely (every ``get`` misses,
+        ``put`` is a no-op) — the conformance property tests use this to
+        force every request down the cold path.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, bytes] = OrderedDict()
+
+    def get(self, key: CacheKey) -> bytes | None:
+        """The cached payload bytes, or ``None`` (counted as hit/miss)."""
+        with self._lock:
+            data = self._entries.get(key)
+            if data is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return data
+
+    def put(self, key: CacheKey, payload: bytes) -> None:
+        """Insert (or refresh) an entry, evicting LRU past capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate_stale(self, db_version: int) -> int:
+        """Drop entries whose stamp is not ``db_version``; return the count.
+
+        Version-keyed entries for old stamps are already unreachable (no
+        request will ever build their key again); this reclaims their
+        memory without touching any current-generation entry.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k.db_version != db_version]
+            for k in stale:
+                del self._entries[k]
+            self.stats.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        """Membership without touching the stats or the LRU order."""
+        with self._lock:
+            return key in self._entries

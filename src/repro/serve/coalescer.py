@@ -1,0 +1,97 @@
+"""Request coalescing: the arrival-batching state machine.
+
+The always-on service turns independent request arrivals into *batches*
+so the executor's amortizations (resident database, warm process
+workers, the db-sweep multi-query index) actually engage under
+concurrent load. The policy is the classic time/size window: a batch
+closes when it reaches ``max_batch`` requests (size close) or when the
+oldest pending request has waited one coalescing window (window close).
+
+:class:`Coalescer` is deliberately *clock-free*: it is a pure FIFO state
+machine whose only operations are :meth:`add` (an arrival) and
+:meth:`flush` (the caller decided the window expired). The service layer
+owns the actual timer (:mod:`repro.serve.service`); keeping time out of
+this class is what makes its contract — every request appears in exactly
+one emitted batch, in arrival order — directly checkable by the
+Hypothesis property suite over arbitrary add/flush interleavings
+(``tests/property/test_prop_coalescer.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class CoalescerStats:
+    """Batching counters of one :class:`Coalescer`."""
+
+    arrivals: int = 0
+    #: Items that have left in an emitted batch (arrivals minus pending).
+    emitted: int = 0
+    batches: int = 0
+    #: Batches closed by reaching ``max_batch``.
+    size_closes: int = 0
+    #: Batches closed by :meth:`Coalescer.flush` (window expiry / drain).
+    window_closes: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Emitted items per batch (the coalescing payoff in one number)."""
+        return self.emitted / self.batches if self.batches else 0.0
+
+
+class Coalescer(Generic[T]):
+    """Clock-free FIFO batcher with a size bound.
+
+    Thread-safe: arrivals may come from any number of request threads
+    while one dispatcher flushes. Every item is emitted exactly once, in
+    global arrival order (and therefore in per-connection arrival order,
+    since each connection submits sequentially).
+    """
+
+    def __init__(self, max_batch: int = 32) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.max_batch = max_batch
+        self.stats = CoalescerStats()
+        self._lock = threading.Lock()
+        self._pending: list[T] = []
+
+    def add(self, item: T) -> list[T] | None:
+        """Record an arrival; return the closed batch if it filled one."""
+        with self._lock:
+            self._pending.append(item)
+            self.stats.arrivals += 1
+            if len(self._pending) >= self.max_batch:
+                self.stats.size_closes += 1
+                return self._close()
+            return None
+
+    def flush(self) -> list[T] | None:
+        """Close the pending batch (window expiry or shutdown drain).
+
+        Returns ``None`` when nothing is pending — a flush never emits an
+        empty batch.
+        """
+        with self._lock:
+            if not self._pending:
+                return None
+            self.stats.window_closes += 1
+            return self._close()
+
+    def _close(self) -> list[T]:
+        # Caller holds the lock.
+        batch, self._pending = self._pending, []
+        self.stats.batches += 1
+        self.stats.emitted += len(batch)
+        return batch
+
+    def __len__(self) -> int:
+        """Number of pending (not yet emitted) items."""
+        with self._lock:
+            return len(self._pending)

@@ -178,6 +178,27 @@ def result_from_payload(payload: dict) -> "SearchResult":
     )
 
 
+def payload_to_bytes(payload: dict) -> bytes:
+    """Deterministic byte serialization of a canonical result payload.
+
+    Stable JSON (sorted keys, compact separators), so two payloads are
+    byte-identical exactly when :func:`result_to_payload` produced equal
+    dicts — the serving layer's cache stores and serves these bytes, and
+    the cache-correctness tests compare hit and cold-path responses with
+    ``==`` on the raw bytes.
+    """
+    import json
+
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def payload_from_bytes(data: bytes) -> dict:
+    """Inverse of :func:`payload_to_bytes` (feed to :func:`result_from_payload`)."""
+    import json
+
+    return json.loads(data)
+
+
 def first_divergence(oracle: "SearchResult", other: "SearchResult") -> str | None:
     """Describe the first point where ``other`` departs from ``oracle``.
 

@@ -1,0 +1,136 @@
+"""Properties of the request coalescer and of coalesced execution.
+
+Two layers of the same claim — batching must be invisible to correctness:
+
+* **State-machine properties** (pure, tier-1): for *any* interleaving of
+  arrivals (tagged by connection), batch-size bounds, and window expiries
+  (:meth:`~repro.serve.coalescer.Coalescer.flush` calls), every request
+  is emitted exactly once, batches respect ``max_batch``, and arrival
+  order is preserved globally — hence per connection.
+* **Execution property** (real searches, marked ``slow``): a coalesced
+  batch dispatched through the service produces, request for request,
+  the same canonical payload bytes as the same queries run serially
+  through a bare engine — the cache is disabled, so every request takes
+  the cold batched path.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import Coalescer
+
+pytestmark = pytest.mark.serve
+
+# An interleaving schedule: each step is an arrival on a connection
+# (0-3) or a window expiry (None). Connections submit sequentially, so
+# the k-th arrival on a connection is its k-th request.
+steps = st.lists(
+    st.one_of(st.integers(min_value=0, max_value=3), st.none()),
+    min_size=0,
+    max_size=120,
+)
+
+
+def run_schedule(schedule, max_batch):
+    """Drive a coalescer through the schedule; return (arrivals, batches)."""
+    c = Coalescer(max_batch=max_batch)
+    arrivals, batches = [], []
+    counters = {}
+    for step in schedule:
+        if step is None:
+            batch = c.flush()
+        else:
+            seq = counters.get(step, 0)
+            counters[step] = seq + 1
+            item = (step, seq)
+            arrivals.append(item)
+            batch = c.add(item)
+        if batch is not None:
+            batches.append(batch)
+    final = c.flush()
+    if final is not None:
+        batches.append(final)
+    return arrivals, batches
+
+
+class TestCoalescerProperties:
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(steps, st.integers(min_value=1, max_value=8))
+    def test_every_request_exactly_once_in_arrival_order(self, schedule, max_batch):
+        arrivals, batches = run_schedule(schedule, max_batch)
+        emitted = [item for batch in batches for item in batch]
+        assert emitted == arrivals
+
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(steps, st.integers(min_value=1, max_value=8))
+    def test_batches_never_empty_never_over_max(self, schedule, max_batch):
+        _arrivals, batches = run_schedule(schedule, max_batch)
+        for batch in batches:
+            assert 1 <= len(batch) <= max_batch
+
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(steps, st.integers(min_value=1, max_value=8))
+    def test_per_connection_order_preserved(self, schedule, max_batch):
+        _arrivals, batches = run_schedule(schedule, max_batch)
+        emitted = [item for batch in batches for item in batch]
+        for conn in range(4):
+            seqs = [seq for c, seq in emitted if c == conn]
+            assert seqs == list(range(len(seqs)))
+
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(steps, st.integers(min_value=1, max_value=8))
+    def test_stats_account_for_every_arrival(self, schedule, max_batch):
+        c = Coalescer(max_batch=max_batch)
+        for step in schedule:
+            if step is None:
+                c.flush()
+            else:
+                c.add(step)
+        assert c.stats.arrivals == sum(1 for s in schedule if s is not None)
+        assert c.stats.emitted + len(c) == c.stats.arrivals
+        assert c.stats.batches == c.stats.size_closes + c.stats.window_closes
+
+
+@pytest.mark.slow
+class TestCoalescedExecutionEqualsSerial:
+    """Batch dispatch must not change any request's canonical payload."""
+
+    @settings(max_examples=5, deadline=None, derandomize=True)
+    @given(
+        picks=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=6),
+        max_batch=st.integers(min_value=1, max_value=6),
+    )
+    def test_coalesced_equals_serial_canonical_payloads(
+        self, tiny_db, tiny_spec, picks, max_batch
+    ):
+        from repro.engine import make_engine
+        from repro.io import generate_query
+        from repro.serve import SearchService
+        from repro.verify.canonical import payload_to_bytes, result_to_payload
+
+        pool = [
+            generate_query(80 + 15 * i, tiny_spec, query_seed=700 + i)
+            for i in range(5)
+        ]
+        engine = make_engine("cublastp")
+        serial = {}
+        for i in set(picks):
+            result = engine.run(
+                engine.compile(pool[i]), tiny_db, query_id=f"q{i}"
+            )
+            serial[i] = payload_to_bytes(result_to_payload(result))
+        # cache_capacity=0: every request takes the cold coalesced path,
+        # including repeats of the same query within one batch.
+        with SearchService(
+            tiny_db,
+            backend="thread",
+            window_ms=50,
+            max_batch=max_batch,
+            cache_capacity=0,
+        ) as svc:
+            futures = [(i, svc.submit(f"q{i}", pool[i])) for i in picks]
+            for i, fut in futures:
+                outcome = fut.result(timeout=240)
+                assert not outcome.cache_hit
+                assert outcome.payload == serial[i]

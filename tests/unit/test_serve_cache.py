@@ -1,0 +1,152 @@
+"""Cache-correctness tests: byte-identity, stamp invalidation, stat races."""
+
+import threading
+
+import pytest
+
+from repro.core import SearchParams
+from repro.io import storage
+from repro.serve import CacheKey, ResultCache, params_key, query_key
+
+pytestmark = pytest.mark.serve
+
+
+def key(q="Q", v=1, p="P"):
+    return CacheKey(q, v, p)
+
+
+class TestResultCache:
+    def test_get_put_roundtrip_is_byte_identical(self):
+        cache = ResultCache(capacity=4)
+        payload = b'{"alignments":[],"counters":{"num_hits":3}}'
+        cache.put(key(), payload)
+        assert cache.get(key()) == payload
+        assert cache.get(key()) is payload  # the very same bytes object
+
+    def test_hit_miss_counters(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(key("a")) is None
+        cache.put(key("a"), b"x")
+        assert cache.get(key("a")) == b"x"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.requests == 2
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(key("a"), b"1")
+        cache.put(key("b"), b"2")
+        assert cache.get(key("a")) == b"1"  # refresh a: b is now LRU
+        cache.put(key("c"), b"3")
+        assert cache.stats.evictions == 1
+        assert key("b") not in cache
+        assert key("a") in cache and key("c") in cache
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(key(), b"x")
+        assert cache.get(key()) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_invalidate_exactly_stale_entries(self):
+        cache = ResultCache(capacity=16)
+        cache.put(key("a", v=1), b"old-a")
+        cache.put(key("b", v=1), b"old-b")
+        cache.put(key("c", v=2), b"new-c")
+        removed = cache.invalidate_stale(db_version=2)
+        assert removed == 2
+        assert cache.stats.invalidations == 2
+        assert key("a", v=1) not in cache
+        assert key("b", v=1) not in cache
+        assert cache.get(key("c", v=2)) == b"new-c"  # current gen untouched
+
+    def test_concurrent_stat_updates_race_free(self):
+        """hits + misses must equal requests issued, under thread racing."""
+        cache = ResultCache(capacity=64)
+        for i in range(8):
+            cache.put(key(f"warm-{i}"), b"v")
+        per_thread = 500
+
+        def hammer(tag):
+            for i in range(per_thread):
+                cache.get(key(f"warm-{i % 8}"))  # hit
+                cache.get(key(f"cold-{tag}-{i}"))  # miss
+                cache.put(key(f"put-{tag}-{i % 16}"), b"w")
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = 6 * per_thread * 2
+        assert cache.stats.hits + cache.stats.misses == expected
+        assert cache.stats.hits == 6 * per_thread
+        assert cache.stats.misses == 6 * per_thread
+
+
+class TestCacheKeys:
+    def test_query_key_is_content_hash(self):
+        assert query_key("MKTAY") == query_key("MKTAY")
+        assert query_key("MKTAY") != query_key("MKTAW")
+
+    def test_params_key_covers_non_compile_fields(self):
+        a = SearchParams()
+        # evalue does not change compilation, but it changes reporting —
+        # the cache must not share entries across it.
+        b = SearchParams(evalue=0.001)
+        c = SearchParams(max_alignments=7)
+        assert params_key(a) == params_key(SearchParams())
+        assert params_key(a) != params_key(b)
+        assert params_key(a) != params_key(c)
+
+
+class TestServiceCacheIntegration:
+    """Byte-identity and stamp invalidation through a real service."""
+
+    @pytest.fixture()
+    def db_path(self, tiny_db, tmp_path):
+        path = tmp_path / "tiny.rpdb"
+        tiny_db.save(path)
+        return path
+
+    def test_hit_byte_identical_to_cold_path(self, db_path, tiny_query):
+        from repro.serve import SearchService
+
+        with SearchService(
+            db_path, backend="thread", window_ms=0, max_batch=1
+        ) as svc:
+            cold = svc.search("cold", tiny_query, timeout=120)
+            hit = svc.search("hot", tiny_query, timeout=120)
+            assert not cold.cache_hit
+            assert hit.cache_hit
+            assert hit.payload == cold.payload  # raw bytes, no tolerance
+
+    def test_stamp_bump_invalidates_exactly_stale(self, db_path, tiny_query, tiny_spec):
+        from repro.io import generate_query
+        from repro.serve import SearchService
+
+        other = generate_query(120, tiny_spec, query_seed=99)
+        with SearchService(
+            db_path, backend="thread", window_ms=0, max_batch=1
+        ) as svc:
+            v0 = svc.db_version
+            first = svc.search("q1", tiny_query, timeout=120)
+            svc.search("q2", other, timeout=120)
+            assert len(svc.cache) == 2
+            storage.stamp_db_version(db_path)
+            old, new, invalidated = svc.refresh_db_version()
+            assert (old, new) == (v0, v0 + 1)
+            assert invalidated == 2  # both keyed under the old stamp
+            assert len(svc.cache) == 0
+            again = svc.search("q1-again", tiny_query, timeout=120)
+            assert not again.cache_hit  # stale entry really gone
+            # Same database content => same canonical payload either way.
+            assert again.payload == first.payload
+            # New-generation entries survive a no-op refresh.
+            assert svc.refresh_db_version() == (new, new, 0)
+            assert len(svc.cache) == 1

@@ -1,0 +1,194 @@
+"""Unit tests for the search service core and its HTTP front-end.
+
+Thread-backend only (fast, deterministic — tier-1); the process-backend
+fault story lives in ``tests/integration/test_serve_faults.py``.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    OverloadedError,
+    SearchService,
+    ServeHandle,
+    ServiceClosedError,
+)
+from repro.verify.canonical import payload_from_bytes, result_from_payload
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def queries(tiny_spec):
+    from repro.io import generate_query
+
+    return [generate_query(90 + 10 * i, tiny_spec, query_seed=50 + i) for i in range(6)]
+
+
+class TestSearchService:
+    def test_results_match_direct_engine_run(self, tiny_db, tiny_query):
+        from repro.engine import make_engine
+        from repro.verify.canonical import result_digest
+
+        with SearchService(tiny_db, backend="thread", window_ms=0) as svc:
+            outcome = svc.search("q", tiny_query, timeout=120)
+        result = result_from_payload(payload_from_bytes(outcome.payload))
+        engine = make_engine("cublastp")
+        direct = engine.run(engine.compile(tiny_query), tiny_db, query_id="q")
+        assert result_digest(result) == result_digest(direct)
+
+    def test_concurrent_burst_coalesces_and_keeps_order(self, tiny_db, queries):
+        with SearchService(
+            tiny_db, backend="thread", window_ms=50, max_batch=4
+        ) as svc:
+            futures = [
+                svc.submit(f"q{i}", q) for i, q in enumerate(queries)
+            ]
+            outcomes = [f.result(timeout=120) for f in futures]
+        assert [o.query_id for o in outcomes] == [f"q{i}" for i in range(6)]
+        assert svc.coalescer.stats.batches >= 1
+        assert svc.coalescer.stats.emitted == 6
+
+    def test_per_query_error_isolated(self, tiny_db, tiny_query):
+        with SearchService(
+            tiny_db, backend="thread", window_ms=30, max_batch=8, mode="per-query"
+        ) as svc:
+            bad = svc.submit("bad", "X")  # too short to compile
+            good = svc.submit("good", tiny_query)
+            with pytest.raises(Exception):
+                bad.result(timeout=120)
+            assert good.result(timeout=120).query_id == "good"
+        assert svc.stats.failed == 1
+        assert svc.stats.completed == 1
+
+    def test_overload_sheds_with_429_semantics(self, tiny_db, queries):
+        svc = SearchService(
+            tiny_db, backend="thread", window_ms=5000, max_batch=64, max_pending=2
+        )
+        try:
+            # Dispatcher not started: admissions stay pending deterministically.
+            svc.submit("a", queries[0])
+            svc.submit("b", queries[1])
+            with pytest.raises(OverloadedError):
+                svc.submit("c", queries[2])
+            assert svc.stats.shed == 1
+        finally:
+            svc.close()
+
+    def test_cache_hit_bypasses_admission(self, tiny_db, tiny_query):
+        with SearchService(
+            tiny_db, backend="thread", window_ms=0, max_batch=1, max_pending=1
+        ) as svc:
+            svc.search("warm", tiny_query, timeout=120)
+        # Closed service still cannot take new work…
+        with pytest.raises(ServiceClosedError):
+            svc.submit("late", tiny_query)
+
+    def test_close_fails_undispatched_requests(self, tiny_db, queries):
+        svc = SearchService(tiny_db, backend="thread", window_ms=5000)
+        fut = svc.submit("stranded", queries[0])
+        svc.close()  # dispatcher never started
+        with pytest.raises(ServiceClosedError):
+            fut.result(timeout=10)
+
+    def test_rejects_bad_configuration(self, tiny_db):
+        with pytest.raises(ValueError):
+            SearchService(tiny_db, window_ms=-1)
+        with pytest.raises(ValueError):
+            SearchService(tiny_db, max_pending=0)
+
+
+class TestHttpServer:
+    @pytest.fixture(scope="class")
+    def server(self, tiny_db):
+        service = SearchService(
+            tiny_db, backend="thread", window_ms=10, max_batch=8
+        )
+        with ServeHandle(service) as handle:
+            yield handle
+
+    @staticmethod
+    def _post(handle, path, obj, timeout=120):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{handle.port}{path}",
+            data=json.dumps(obj).encode(),
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, resp.read(), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read(), dict(exc.headers)
+
+    @staticmethod
+    def _get(handle, path, timeout=30):
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{handle.port}{path}", timeout=timeout
+        ) as resp:
+            return resp.status, resp.read()
+
+    def test_search_cold_then_hit_byte_identical(self, server, tiny_query):
+        status, body, headers = self._post(
+            server, "/search", {"query_id": "h1", "sequence": tiny_query}
+        )
+        assert status == 200
+        assert headers["X-Cache"] == "MISS"
+        status2, body2, headers2 = self._post(
+            server, "/search", {"query_id": "h2", "sequence": tiny_query}
+        )
+        assert status2 == 200
+        assert headers2["X-Cache"] == "HIT"
+        assert body2 == body
+        # The body is the canonical payload: it parses back to a result.
+        result = result_from_payload(payload_from_bytes(body))
+        assert result.query_length == len(tiny_query)
+
+    def test_healthz_and_stats(self, server):
+        status, body = self._get(server, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        status, body = self._get(server, "/stats")
+        payload = json.loads(body)
+        assert payload["requests"] >= 1
+        assert set(payload["cache"]) >= {"hits", "misses", "evictions"}
+
+    def test_bad_request_bodies_400(self, server):
+        for obj in ({}, {"query_id": "x"}, {"query_id": "x", "sequence": ""}):
+            status, body, _ = self._post(server, "/search", obj)
+            assert status == 400, obj
+            assert json.loads(body)["error"] == "BadRequest"
+
+    def test_unknown_route_404_known_route_405(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(server, "/nope")
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(server, "/search")  # GET on a POST route
+        assert err.value.code == 405
+
+    def test_keep_alive_connection_reuse(self, server, tiny_query):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=120)
+        try:
+            for i in range(3):
+                conn.request(
+                    "POST",
+                    "/search",
+                    json.dumps({"query_id": f"ka{i}", "sequence": tiny_query}),
+                )
+                resp = conn.getresponse()
+                assert resp.status == 200
+                resp.read()
+        finally:
+            conn.close()
+
+    def test_refresh_endpoint_reports_stamp(self, server):
+        status, body, _ = self._post(server, "/admin/refresh-db", {})
+        assert status == 200
+        payload = json.loads(body)
+        # In-memory database: no file stamp to watch, generation stays 0.
+        assert payload == {"old": 0, "new": 0, "invalidated": 0}

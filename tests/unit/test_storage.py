@@ -100,6 +100,55 @@ class TestBinaryFormat:
         assert _memmap_backed(v.codes)
 
 
+class TestDbVersionStamp:
+    """The content-version stamp the serving cache keys on."""
+
+    def test_fresh_save_stamps_default(self, db, tmp_path):
+        path = tmp_path / "db.rpdb"
+        db.save(path)
+        assert storage.read_db_version(path) == storage.DEFAULT_DB_VERSION
+        assert storage.read_header(path)["db_version"] == storage.DEFAULT_DB_VERSION
+
+    def test_explicit_stamp_on_save(self, db, tmp_path):
+        path = tmp_path / "db.rpdb"
+        db.save(path, db_version=42)
+        assert storage.read_db_version(path) == 42
+
+    def test_stamp_bump_and_set(self, db, tmp_path):
+        path = tmp_path / "db.rpdb"
+        db.save(path)
+        assert storage.stamp_db_version(path) == storage.DEFAULT_DB_VERSION + 1
+        assert storage.stamp_db_version(path, 9) == 9
+        assert storage.read_db_version(path) == 9
+
+    def test_stamp_leaves_content_intact(self, db, tmp_path):
+        path = tmp_path / "db.rpdb"
+        db.save(path)
+        storage.stamp_db_version(path, 7)
+        back = SequenceDatabase.load(path)
+        assert np.array_equal(back.codes, db.codes)
+        assert back.identifiers == db.identifiers
+
+    def test_pre_stamp_file_reads_as_version_zero(self, db, tmp_path):
+        # Files written before the stamp existed carry zero padding where
+        # the stamp now lives — they must read back as generation 0, not
+        # fail. Simulate one by zeroing the stamp bytes.
+        path = tmp_path / "db.rpdb"
+        db.save(path)
+        raw = bytearray(path.read_bytes())
+        raw[storage._STAMP_OFFSET : storage._STAMP_OFFSET + 8] = b"\x00" * 8
+        path.write_bytes(bytes(raw))
+        assert storage.read_db_version(path) == 0
+        back = SequenceDatabase.load(path)
+        assert np.array_equal(back.codes, db.codes)
+
+    def test_stamp_rejects_non_binary(self, tmp_path):
+        bogus = tmp_path / "bogus.rpdb"
+        bogus.write_bytes(b"NOPE" + b"\x00" * 100)
+        with pytest.raises(SequenceError):
+            storage.stamp_db_version(bogus)
+
+
 class TestLegacyNpz:
     def _write_legacy(self, db, path):
         np.savez_compressed(
