@@ -159,16 +159,19 @@ def main(argv: list[str] | None = None) -> int:
                     help="fail unless the best db-sweep cell's qps >= the "
                     "per-query serial baseline (CI gate for the batch-"
                     "first inversion)")
-    ap.add_argument("--assert-phase", metavar="PHASE",
+    ap.add_argument("--assert-phase", metavar="PHASE", action="append",
                     help="with --max-ms: fail if the serial baseline's "
                     "wall for this phase exceeds the bound (CI gate "
                     "pinning a phase-level speedup, e.g. the columnar "
-                    "ungapped-extension path)")
-    ap.add_argument("--max-ms", type=float,
-                    help="phase wall bound in ms for --assert-phase")
+                    "ungapped-extension path); repeatable — the n-th "
+                    "--assert-phase pairs with the n-th --max-ms")
+    ap.add_argument("--max-ms", type=float, action="append",
+                    help="phase wall bound in ms for --assert-phase "
+                    "(repeatable, paired positionally)")
     args = ap.parse_args(argv)
-    if (args.assert_phase is None) != (args.max_ms is None):
-        ap.error("--assert-phase and --max-ms must be given together")
+    if len(args.assert_phase or []) != len(args.max_ms or []):
+        ap.error("--assert-phase and --max-ms must be given together, "
+                 "one bound per phase")
 
     jobs_list = [int(j) for j in args.jobs.split(",") if j.strip()]
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
@@ -274,22 +277,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"OK: db-sweep qps {best['qps']} >= per-query serial qps "
               f"{serial['qps']}")
 
-    if args.assert_phase is not None:
+    for phase, max_ms in zip(args.assert_phase or [], args.max_ms or []):
         # Gate on the serial cell: it has no job-count noise, so a phase
         # regression can't hide behind parallel speedup elsewhere.
-        phase_ms = serial["phase_wall_ms"].get(args.assert_phase)
+        phase_ms = serial["phase_wall_ms"].get(phase)
         if phase_ms is None:
-            print(f"error: phase {args.assert_phase!r} not in the serial "
+            print(f"error: phase {phase!r} not in the serial "
                   f"breakdown (have: "
                   f"{', '.join(serial['phase_wall_ms']) or 'none'})",
                   file=sys.stderr)
             return 2
-        if phase_ms > args.max_ms:
-            print(f"FAIL: serial {args.assert_phase} wall {phase_ms:.0f}ms "
-                  f"> bound {args.max_ms:.0f}ms", file=sys.stderr)
+        if phase_ms > max_ms:
+            print(f"FAIL: serial {phase} wall {phase_ms:.0f}ms "
+                  f"> bound {max_ms:.0f}ms", file=sys.stderr)
             return 1
-        print(f"OK: serial {args.assert_phase} wall {phase_ms:.0f}ms "
-              f"<= bound {args.max_ms:.0f}ms")
+        print(f"OK: serial {phase} wall {phase_ms:.0f}ms "
+              f"<= bound {max_ms:.0f}ms")
     return 0
 
 

@@ -26,7 +26,11 @@ from repro.core.sweep import (
     sweep_extend_block,
     sweep_finish,
 )
-from repro.core.traceback import TracebackAlignment, traceback_align
+from repro.core.traceback import (
+    TracebackAlignment,
+    batch_traceback_align,
+    traceback_align,
+)
 from repro.core.two_hit import select_seeds_and_extend
 from repro.core.ungapped import ungapped_extend
 
@@ -43,6 +47,7 @@ __all__ = [
     "SearchResult",
     "TracebackAlignment",
     "UngappedExtension",
+    "batch_traceback_align",
     "detect_hits",
     "diagonal_of",
     "gapped_extend",

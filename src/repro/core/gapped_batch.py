@@ -1,0 +1,306 @@
+"""Batched wavefront gapped extension: lockstep x-drop DP across seeds.
+
+:func:`~repro.core.gapped._half_extend` is already row-vectorised (the
+``maximum.accumulate`` unrolling of the F-array), but an x-drop band is
+tens of cells wide, so each numpy op touches a handful of values and
+Python-level dispatch dominates — the same pathology PR 7 cured for
+ungapped extension. The cure is the same shape: stack every live
+half-extension into a ``lanes x band`` slab (backward and forward halves
+are independent DPs, so they ride as separate lanes) and advance all of
+them one DP row per step, with per-lane band bounds, per-lane x-drop
+kill masks, lane retirement, and periodic live-lane compaction.
+
+Exactness (the conformance argument, enforced by
+``tests/property/test_prop_gapped_batch.py``):
+
+* Each lane's slab columns mirror the scalar DP's ``h_prev``/``e_prev``
+  arrays over a window of absolute band positions: computed-window cells
+  hold the scalar values bit for bit, everything else holds a garbage
+  value ``<= NEG_INF + drift``. Real DP values are bounded by roughly
+  ``+/- (query_length * max|pssm| + x_drop + gaps)`` — under ``~10**6`` —
+  while garbage starts at ``-2**40`` and can drift upward by at most a
+  bounded substitution score per row, so garbage can never win a ``max``
+  against a real value, never pass an x-drop liveness test, and never
+  steal an ``argmax`` (ties break on the first index in both layouts,
+  and all real candidates agree exactly).
+* The running maximum for the F-array runs over the whole slab row
+  rather than the scalar's live window, but every pre-window term is
+  garbage, so at any column where the scalar running max is real the two
+  agree exactly; where it is garbage both sides produce garbage and the
+  cell dies identically.
+
+Wave scheduling lives in :meth:`BlastpPipeline.phase_gapped`, not here:
+this module only answers "extend these (seq, seed) pairs, all at once".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gapped import NEG_INF, GappedExtension
+
+#: Slack columns allocated past the widest live band so the window's
+#: one-column-per-row right growth doesn't force a re-base every step.
+_BAND_MARGIN = 16
+
+
+def batch_half_extend(
+    pssm: np.ndarray,
+    codes: np.ndarray,
+    q_anchor: np.ndarray,
+    q_step: np.ndarray,
+    s_anchor: np.ndarray,
+    s_step: np.ndarray,
+    n_rows: np.ndarray,
+    m_cols: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    x_drop: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All half-extensions at once, one slab row per DP row.
+
+    Lane ``l`` runs the scalar :func:`~repro.core.gapped._half_extend` DP
+    whose walk cell ``(i, j)`` (``1 <= i <= n_rows[l]``, ``1 <= j <=
+    m_cols[l]``) scores ``pssm[codes[s_anchor[l] + s_step[l] * j],
+    q_anchor[l] + q_step[l] * i]`` — the anchor/step parameterisation
+    covers both walk directions without materialising per-lane score
+    matrices.
+
+    Returns the six :class:`~repro.core.gapped.HalfExtension` fields as
+    aligned int64 columns: ``(best, best_i, best_j, reach_i, reach_j,
+    cells)``.
+    """
+    q_anchor = np.asarray(q_anchor, dtype=np.int64)
+    q_step = np.asarray(q_step, dtype=np.int64)
+    s_anchor = np.asarray(s_anchor, dtype=np.int64)
+    s_step = np.asarray(s_step, dtype=np.int64)
+    n_rows = np.asarray(n_rows, dtype=np.int64)
+    m_cols = np.asarray(m_cols, dtype=np.int64)
+    num = n_rows.size
+    go, ge, xd = int(gap_open), int(gap_extend), int(x_drop)
+
+    best = np.zeros(num, dtype=np.int64)
+    best_i = np.zeros(num, dtype=np.int64)
+    best_j = np.zeros(num, dtype=np.int64)
+    reach_i = np.zeros(num, dtype=np.int64)
+    reach_j = np.zeros(num, dtype=np.int64)
+    cells = np.zeros(num, dtype=np.int64)
+
+    # Degenerate lanes (no room to move diagonally) keep the all-zero
+    # empty-alignment result, exactly like the scalar early return.
+    lanes = np.flatnonzero((n_rows > 0) & (m_cols > 0))
+    if lanes.size == 0:
+        return best, best_i, best_j, reach_i, reach_j, cells
+
+    # Pool state, aligned with ``lanes`` (the global ids of live lanes).
+    nn = n_rows[lanes]
+    mm = m_cols[lanes]
+    qa = q_anchor[lanes]
+    qd = q_step[lanes]
+    sa = s_anchor[lanes]
+    sd = s_step[lanes]
+    p_best = np.zeros(lanes.size, dtype=np.int64)
+    p_best_i = np.zeros(lanes.size, dtype=np.int64)
+    p_best_j = np.zeros(lanes.size, dtype=np.int64)
+    p_reach_j = np.zeros(lanes.size, dtype=np.int64)
+
+    # Row 0: empty prefix plus leading horizontal gaps. The live span is
+    # [0, hi] with hi the last j where -go - (j-1)*ge >= -x_drop.
+    hi_cap = 1 + (xd - go) // ge if go <= xd else 0
+    lo = np.zeros(lanes.size, dtype=np.int64)
+    hi = np.minimum(mm, hi_cap)
+    cells[lanes] = hi + 1
+    p_reach_j[:] = hi
+
+    # The slab: per-lane windows of absolute band positions. ``base[l]``
+    # is the absolute j of slab column 0; it is kept <= max(lo - 1, 0) so
+    # the diagonal read at j = lo always lands inside the frame.
+    base = np.zeros(lanes.size, dtype=np.int64)
+    width_slab = int(hi.max()) + 2 + _BAND_MARGIN
+    jj = np.arange(width_slab, dtype=np.int64)
+    # Scalar row 0 is computed for *every* j <= m (the whole gap ramp),
+    # not just the live span; mirror that within the frame so the first
+    # row's reads past hi match the scalar's (dead but real) values.
+    ramp = np.where(jj == 0, np.int64(0), -go - (jj - 1) * ge)
+    h_slab = np.where(jj[None, :] <= mm[:, None], ramp[None, :], NEG_INF)
+    e_slab = np.full((lanes.size, width_slab), NEG_INF, dtype=np.int64)
+
+    max_code = codes.size - 1
+    i = 0
+    while lanes.size:
+        i += 1
+        hi_new = np.minimum(hi + 1, mm)
+        jmat = base[:, None] + jj[None, :]
+        in_win = (jmat >= lo[:, None]) & (jmat <= hi_new[:, None])
+        cells[lanes] += hi_new + 1 - lo
+
+        # Substitution scores for this row; j = 0 has no diagonal move.
+        s_pos = sa[:, None] + sd[:, None] * jmat
+        sub = np.where(
+            in_win & (jmat >= 1),
+            pssm[
+                codes[np.clip(s_pos, 0, max_code)],
+                (qa + qd * i)[:, None],
+            ].astype(np.int64),
+            NEG_INF,
+        )
+        diag = np.empty_like(h_slab)
+        diag[:, 0] = NEG_INF
+        diag[:, 1:] = h_slab[:, :-1]
+        diag += sub
+        e_cur = np.where(
+            in_win, np.maximum(h_slab - go, e_slab - ge), NEG_INF
+        )
+        g = np.where(in_win, np.maximum(diag, e_cur), NEG_INF)
+        # Horizontal gaps via the running-max unrolling (gapped.py). The
+        # accumulate spans the whole slab row; pre-window terms are
+        # garbage and never beat a real one (module docstring).
+        t = g + ge * jmat
+        run = np.maximum.accumulate(t, axis=1)
+        f = np.empty_like(run)
+        f[:, 0] = NEG_INF
+        f[:, 1:] = run[:, :-1] - go - ge * (jmat[:, 1:] - 1)
+        h_cur = np.where(
+            in_win & (jmat > lo[:, None]), np.maximum(g, f), g
+        )
+
+        row_best = h_cur.max(axis=1)
+        improved = row_best > p_best
+        p_best = np.where(improved, row_best, p_best)
+        p_best_i = np.where(improved, i, p_best_i)
+        p_best_j = np.where(
+            improved, base + np.argmax(h_cur, axis=1), p_best_j
+        )
+        alive = h_cur >= (p_best - xd)[:, None]
+        any_alive = alive.any(axis=1)
+        first = np.argmax(alive, axis=1)
+        last = width_slab - 1 - np.argmax(alive[:, ::-1], axis=1)
+        lo = np.where(any_alive, base + first, lo)
+        hi = np.where(any_alive, base + last, hi)
+        p_reach_j = np.where(any_alive, np.maximum(p_reach_j, hi), p_reach_j)
+
+        # The next row's h_prev/e_prev: computed-window values (including
+        # trimmed-dead cells, as the scalar keeps them), garbage outside.
+        # ``h_cur`` is already exactly that (its off-window cells are g =
+        # NEG_INF by construction).
+        h_slab = h_cur
+        e_slab = e_cur
+
+        retired = ~any_alive | (nn <= i)
+        if retired.any():
+            done = retired.nonzero()[0]
+            out = lanes[done]
+            best[out] = p_best[done]
+            best_i[out] = p_best_i[done]
+            best_j[out] = p_best_j[done]
+            reach_i[out] = i
+            reach_j[out] = p_reach_j[done]
+
+        keep = ~retired
+        if not keep.any():
+            break
+        overflow = bool(
+            (np.minimum(hi[keep] + 1, mm[keep]) - base[keep]).max()
+            > width_slab - 1
+        )
+        if not retired.any() and not overflow:
+            continue
+
+        # Compact + re-base: drop retired lanes, slide each survivor's
+        # frame to start one column left of its live span, and re-size the
+        # slab to the widest next-row window plus margin.
+        sel = keep.nonzero()[0]
+        lanes = lanes[sel]
+        nn, mm = nn[sel], mm[sel]
+        qa, qd, sa, sd = qa[sel], qd[sel], sa[sel], sd[sel]
+        lo, hi = lo[sel], hi[sel]
+        p_best, p_best_i = p_best[sel], p_best_i[sel]
+        p_best_j, p_reach_j = p_best_j[sel], p_reach_j[sel]
+        old_base = base[sel]
+        base = np.maximum(lo - 1, 0)
+        width_slab = int(
+            (np.minimum(hi + 1, mm) - base).max()
+        ) + 2 + _BAND_MARGIN
+        jj = np.arange(width_slab, dtype=np.int64)
+        shift = base[:, None] + jj[None, :] - old_base[:, None]
+        valid = (shift >= 0) & (shift < h_slab.shape[1])
+        gather = np.clip(shift, 0, h_slab.shape[1] - 1)
+        rows = sel[:, None]
+        h_slab = np.where(valid, h_slab[rows, gather], NEG_INF)
+        e_slab = np.where(valid, e_slab[rows, gather], NEG_INF)
+
+    return best, best_i, best_j, reach_i, reach_j, cells
+
+
+def batch_gapped_extend(
+    pssm: np.ndarray,
+    db,
+    seq_ids: np.ndarray,
+    seed_query: np.ndarray,
+    seed_subject: np.ndarray,
+    gap_open: int,
+    gap_extend: int,
+    x_drop: int,
+) -> list[GappedExtension]:
+    """Gapped-extend every ``(seq_id, seed)`` triple in one batched DP.
+
+    Result-identical, element for element, to calling
+    :func:`~repro.core.gapped.gapped_extend` on each triple: the backward
+    and forward halves of all seeds run as ``2 * len(seq_ids)`` lanes of
+    one :func:`batch_half_extend` slab, and the halves are combined with
+    the same coordinate arithmetic. Seeds must be in bounds (the pipeline
+    derives them from extension columns, which guarantees it).
+    """
+    seq_ids = np.asarray(seq_ids, dtype=np.int64)
+    seed_query = np.asarray(seed_query, dtype=np.int64)
+    seed_subject = np.asarray(seed_subject, dtype=np.int64)
+    num = seq_ids.size
+    if num == 0:
+        return []
+    qlen = int(pssm.shape[1])
+    starts = db.offsets[seq_ids]
+    slen = db.offsets[seq_ids + 1] - starts
+
+    # Lanes [0, num) walk backward from the seed (scoring the seed pair),
+    # lanes [num, 2*num) forward from one past it.
+    q_anchor = np.concatenate([seed_query + 1, seed_query])
+    s_anchor = np.concatenate(
+        [starts + seed_subject + 1, starts + seed_subject]
+    )
+    step = np.repeat(np.array([-1, 1], dtype=np.int64), num)
+    n_rows = np.concatenate([seed_query + 1, qlen - seed_query - 1])
+    m_cols = np.concatenate([seed_subject + 1, slen - seed_subject - 1])
+    best, bi, bj, ri, rj, ncells = batch_half_extend(
+        pssm, db.codes, q_anchor, step, s_anchor, step,
+        n_rows, m_cols, gap_open, gap_extend, x_drop,
+    )
+
+    back, fwd = slice(0, num), slice(num, 2 * num)
+    q_start = np.where(bi[back] > 0, seed_query - (bi[back] - 1), seed_query + 1)
+    s_start = np.where(bj[back] > 0, seed_subject - (bj[back] - 1), seed_subject + 1)
+    q_end = np.where(bi[fwd] > 0, seed_query + bi[fwd], seed_query)
+    s_end = np.where(bj[fwd] > 0, seed_subject + bj[fwd], seed_subject)
+    score = best[back] + best[fwd]
+    box_qs = np.maximum(0, seed_query - ri[back])
+    box_qe = np.minimum(seed_query + ri[fwd], qlen - 1)
+    box_ss = np.maximum(0, seed_subject - rj[back])
+    box_se = np.minimum(seed_subject + rj[fwd], slen - 1)
+    total_cells = ncells[back] + ncells[fwd]
+    return [
+        GappedExtension(
+            seq_id=int(seq_ids[k]),
+            score=int(score[k]),
+            query_start=int(q_start[k]),
+            query_end=int(q_end[k]),
+            subject_start=int(s_start[k]),
+            subject_end=int(s_end[k]),
+            seed_query=int(seed_query[k]),
+            seed_subject=int(seed_subject[k]),
+            box_query_start=int(box_qs[k]),
+            box_query_end=int(box_qe[k]),
+            box_subject_start=int(box_ss[k]),
+            box_subject_end=int(box_se[k]),
+            cells=int(total_cells[k]),
+        )
+        for k in range(num)
+    ]

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.gapped import GappedExtension, gapped_extend
+from repro.core.gapped_batch import batch_gapped_extend
 from repro.core.hit_detection import DatabaseHits, detect_hits
 from repro.core.results import (
     Alignment,
@@ -30,7 +31,7 @@ from repro.core.statistics import (
     evalues_for_scores,
     resolve_cutoffs,
 )
-from repro.core.traceback import traceback_align
+from repro.core.traceback import batch_traceback_align
 from repro.core.two_hit import select_seeds_and_extend
 from repro.engine.compiled import CompiledQuery, compile_query
 from repro.io.database import SequenceDatabase
@@ -78,6 +79,12 @@ class BlastpPipeline:
     #: Engine-protocol name.
     name = "reference"
 
+    #: Gapped-extension scheduling modes: ``"wave"`` batch-extends the
+    #: best surviving trigger per sequence each round through the
+    #: lanes x band slab DP; ``"serial"`` is the scalar best-first loop
+    #: (the differential oracle for the batched path).
+    GAPPED_MODES = ("wave", "serial")
+
     def __init__(
         self,
         query: str | np.ndarray | CompiledQuery | None = None,
@@ -85,9 +92,16 @@ class BlastpPipeline:
         *,
         events: EventLog | None = None,
         query_id: str | None = None,
+        gapped_mode: str = "wave",
     ) -> None:
         self.events = events
         self.query_id = query_id
+        if gapped_mode not in self.GAPPED_MODES:
+            raise ValueError(
+                f"unknown gapped_mode {gapped_mode!r} "
+                f"(choose from {', '.join(self.GAPPED_MODES)})"
+            )
+        self.gapped_mode = gapped_mode
         if query is None:
             self.compiled: CompiledQuery | None = None
             self.params = params or SearchParams()
@@ -113,7 +127,12 @@ class BlastpPipeline:
         """This engine bound to a compiled query (cheap: no rebuild)."""
         if compiled is self.compiled and query_id == self.query_id:
             return self
-        return type(self)(compiled, events=self.events, query_id=query_id)
+        return type(self)(
+            compiled,
+            events=self.events,
+            query_id=query_id,
+            gapped_mode=self.gapped_mode,
+        )
 
     def run(
         self,
@@ -210,6 +229,17 @@ class BlastpPipeline:
         an accepted extension's bounding box is skipped (BLAST's
         containment rule) — it would rediscover the same alignment.
 
+        Scheduling: the only serial dependency in the best-first loop is
+        BLAST's *per-sequence* containment rule, so the wave mode
+        processes candidates in rounds — each round batch-extends the
+        first surviving candidate of every sequence (provably
+        independent: a box only ever suppresses later seeds of its own
+        sequence) through one lanes x band slab DP, applies the new
+        boxes with a vectorised containment test, and repeats. The
+        accepted set, each extension's fields, and the output order are
+        identical to the serial loop; the property suite and the verify
+        matrix (whose oracle runs ``gapped_mode="serial"``) pin it.
+
         Returns
         -------
         (gapped_extensions, num_triggers)
@@ -223,39 +253,125 @@ class BlastpPipeline:
             (trig.query_start, trig.subject_start, trig.seq_id, -trig.score)
         )
         mid = trig.lengths // 2
-        seed_q_col = trig.query_start + mid
-        seed_s_col = trig.subject_start + mid
-        accepted: list[GappedExtension] = []
-        boxes: dict[int, list[tuple[int, int, int, int]]] = {}
-        # Containment + the gapped DP are inherently sequential (each
-        # accepted box suppresses later seeds) and the DP dominates; the
-        # loop walks precomputed columns, not records.
-        for k in order:
-            seq_id = int(trig.seq_id[k])
-            seed_q = int(seed_q_col[k])
-            seed_s = int(seed_s_col[k])
-            covered = any(
-                bqs <= seed_q <= bqe and bss <= seed_s <= bse
-                for (bqs, bqe, bss, bse) in boxes.get(seq_id, [])
+        seqs = trig.seq_id[order].astype(np.int64)
+        seed_q = (trig.query_start + mid)[order].astype(np.int64)
+        seed_s = (trig.subject_start + mid)[order].astype(np.int64)
+        if self.gapped_mode == "serial":
+            accepted = self._gapped_serial(db, cutoffs, seqs, seed_q, seed_s)
+            return accepted, num_triggers
+
+        go, ge = self.params.gap_open, self.params.gap_extend
+        xd = cutoffs.x_drop_gapped
+        accepted = []
+        accepted_pos: list[np.ndarray] = []
+        # ``pos`` holds the surviving candidates as indices into the
+        # best-first order; each wave takes every sequence's head.
+        pos = np.arange(seqs.size, dtype=np.int64)
+        while pos.size:
+            rem_seq = seqs[pos]
+            by_seq = np.argsort(rem_seq, kind="stable")
+            head = np.ones(by_seq.size, dtype=bool)
+            srt = rem_seq[by_seq]
+            head[1:] = srt[1:] != srt[:-1]
+            pick = by_seq[head]  # one head per sequence, ascending seq_id
+            chosen = pos[pick]
+            wave = batch_gapped_extend(
+                self.pssm, db, seqs[chosen], seed_q[chosen], seed_s[chosen],
+                go, ge, xd,
             )
-            if covered:
-                continue
+            accepted.extend(wave)
+            accepted_pos.append(chosen)
+            rest = np.delete(pos, pick)
+            if rest.size == 0:
+                break
+            # Vectorised containment: each remaining candidate tests
+            # against its sequence's box from this wave (sequences are
+            # unique within a wave, so searchsorted finds the one box).
+            wave_seq = srt[head]
+            slot = np.searchsorted(wave_seq, seqs[rest])
+            slot_c = np.minimum(slot, wave_seq.size - 1)
+            bqs = np.fromiter(
+                (g.box_query_start for g in wave), np.int64, len(wave)
+            )
+            bqe = np.fromiter(
+                (g.box_query_end for g in wave), np.int64, len(wave)
+            )
+            bss = np.fromiter(
+                (g.box_subject_start for g in wave), np.int64, len(wave)
+            )
+            bse = np.fromiter(
+                (g.box_subject_end for g in wave), np.int64, len(wave)
+            )
+            covered = (
+                (wave_seq[slot_c] == seqs[rest])
+                & (bqs[slot_c] <= seed_q[rest]) & (seed_q[rest] <= bqe[slot_c])
+                & (bss[slot_c] <= seed_s[rest]) & (seed_s[rest] <= bse[slot_c])
+            )
+            pos = rest[~covered]
+        if not accepted:
+            return [], num_triggers
+        # Waves visit candidates out of best-first order (every sequence's
+        # head at once); restore the serial loop's acceptance order.
+        serial_order = np.argsort(np.concatenate(accepted_pos))
+        return [accepted[int(k)] for k in serial_order], num_triggers
+
+    def _gapped_serial(
+        self,
+        db: SequenceDatabase,
+        cutoffs: Cutoffs,
+        seqs: np.ndarray,
+        seed_q: np.ndarray,
+        seed_s: np.ndarray,
+    ) -> list[GappedExtension]:
+        """The scalar best-first gapped loop (differential oracle).
+
+        Walks the best-first candidate columns in order, skipping any
+        seed inside an accepted same-sequence bounding box — the box
+        test is one vectorised comparison against flat accepted-box
+        columns per candidate, not a Python scan over box tuples.
+        """
+        accepted: list[GappedExtension] = []
+        box_cols = np.empty((5, 0), dtype=np.int64)
+        for k in range(seqs.size):
+            if box_cols.shape[1]:
+                b_seq, bqs, bqe, bss, bse = box_cols
+                covered = bool(
+                    np.any(
+                        (b_seq == seqs[k])
+                        & (bqs <= seed_q[k]) & (seed_q[k] <= bqe)
+                        & (bss <= seed_s[k]) & (seed_s[k] <= bse)
+                    )
+                )
+                if covered:
+                    continue
             gext = gapped_extend(
                 self.pssm,
-                db.sequence(seq_id),
-                seq_id,
-                seed_q,
-                seed_s,
+                db.sequence(int(seqs[k])),
+                int(seqs[k]),
+                int(seed_q[k]),
+                int(seed_s[k]),
                 self.params.gap_open,
                 self.params.gap_extend,
                 cutoffs.x_drop_gapped,
             )
             accepted.append(gext)
-            boxes.setdefault(seq_id, []).append(
-                (gext.box_query_start, gext.box_query_end,
-                 gext.box_subject_start, gext.box_subject_end)
+            box_cols = np.concatenate(
+                [
+                    box_cols,
+                    np.array(
+                        [
+                            [gext.seq_id],
+                            [gext.box_query_start],
+                            [gext.box_query_end],
+                            [gext.box_subject_start],
+                            [gext.box_subject_end],
+                        ],
+                        dtype=np.int64,
+                    ),
+                ],
+                axis=1,
             )
-        return accepted, num_triggers
+        return accepted
 
     def phase_traceback(
         self,
@@ -263,28 +379,39 @@ class BlastpPipeline:
         db: SequenceDatabase,
         cutoffs: Cutoffs,
     ) -> list[Alignment]:
-        """Phase 4: re-score with traceback, apply the E-value cutoff."""
+        """Phase 4: re-score with traceback, apply the E-value cutoff.
+
+        The score-surviving boxes are re-solved as one lanes-stacked
+        batched fill (:func:`~repro.core.traceback.batch_traceback_align`
+        — the same lanes x band shape as the gapped phase); only the
+        walk-back and rendering stay per-alignment, which is cold
+        (reported alignments number in the tens).
+        """
         seen: set[tuple[int, int, int, int, int]] = set()
         out: list[Alignment] = []
         db_residues = cutoffs.effective_db_residues or int(db.codes.size)
-        # Cold by construction: gapped extensions number in the tens and
-        # each iteration runs a full banded DP that dwarfs record overhead.
-        for gext in gapped:  # reprolint: disable=no-per-record-loop-in-phase
-            if gext.score < cutoffs.report_cutoff:
-                continue
-            tb = traceback_align(
-                self.pssm,
-                self.query_codes,
-                db.sequence(gext.seq_id),
+        # Cold filter: gapped extensions number in the tens here, and the
+        # survivors feed one batched fill below.
+        survivors = [  # reprolint: disable=no-per-record-loop-in-phase
+            g for g in gapped if g.score >= cutoffs.report_cutoff
+        ]
+        tbs = batch_traceback_align(
+            self.pssm,
+            self.query_codes,
+            [db.sequence(g.seq_id) for g in survivors],
+            [
                 (
-                    gext.box_query_start,
-                    gext.box_query_end,
-                    gext.box_subject_start,
-                    gext.box_subject_end,
-                ),
-                self.params.gap_open,
-                self.params.gap_extend,
-            )
+                    g.box_query_start,
+                    g.box_query_end,
+                    g.box_subject_start,
+                    g.box_subject_end,
+                )
+                for g in survivors
+            ],
+            self.params.gap_open,
+            self.params.gap_extend,
+        )
+        for gext, tb in zip(survivors, tbs):
             if tb is None:
                 continue
             key = (gext.seq_id, tb.query_start, tb.query_end, tb.subject_start, tb.subject_end)

@@ -29,6 +29,7 @@ and the property suite):
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, Sequence
 
@@ -61,18 +62,23 @@ def sweep_extend_block(
     block: SequenceDatabase,
     cutoffs: "Sequence[Cutoffs]",
     seq_id_base: int = 0,
-) -> tuple[list[ExtensionArray], list[int], list[int]]:
+) -> tuple[list[ExtensionArray], list[int], list[int], dict[str, float]]:
     """Sweep one block and run block-local phase 2 for every query.
 
-    Returns per-query ``(extensions, num_hits, num_seeds)`` — extension
-    columns carry global sequence ids (``seq_id_base`` rebases the
-    block-local ids in one vectorised add), so accumulating them across
-    blocks needs no further translation.
+    Returns per-query ``(extensions, num_hits, num_seeds)`` plus a
+    ``{"hit_detection": ms, "ungapped_extension": ms}`` wall split —
+    extension columns carry global sequence ids (``seq_id_base`` rebases
+    the block-local ids in one vectorised add), so accumulating them
+    across blocks needs no further translation, and the wall split lets
+    a process-backend caller re-emit per-phase timing the parent never
+    saw first-hand.
 
     Subject coordinates inside an extension are sequence-local, so only
     the sequence id needs rebasing.
     """
+    t0 = time.perf_counter()
     tagged = index.sweep_block(block)
+    t1 = time.perf_counter()
     extensions: list[ExtensionArray] = []
     num_hits: list[int] = []
     num_seeds: list[int] = []
@@ -86,7 +92,11 @@ def sweep_extend_block(
         exts, seeds = pipe.phase_ungapped_hits(index.untag(tagged, q), block, cutoffs[q])
         extensions.append(exts.with_seq_offset(seq_id_base))
         num_seeds.append(seeds)
-    return extensions, num_hits, num_seeds
+    phase_wall = {
+        "hit_detection": (t1 - t0) * 1e3,
+        "ungapped_extension": (time.perf_counter() - t1) * 1e3,
+    }
+    return extensions, num_hits, num_seeds, phase_wall
 
 
 def sweep_finish(

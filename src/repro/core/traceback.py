@@ -102,6 +102,153 @@ def traceback_align(
         F[i, 1:] = run[:-1] - go - ge * (jj[1:] - 1)
         H[i, 1:] = np.maximum(g, F[i, 1:])
 
+    return _walk(pssm, H, E, F, q, s, qs, ss, go, ge)
+
+
+#: Padded-cell budget per batched-fill chunk (lanes x rows x cols). Three
+#: int64 slabs of this size bound the working set near ~48 MB; a single
+#: box larger than the budget still fills alone in its own chunk.
+_CHUNK_CELL_BUDGET = 2_000_000
+
+
+def batch_traceback_align(
+    pssm: np.ndarray,
+    query_codes: np.ndarray,
+    subjects: "list[np.ndarray]",
+    boxes: "list[tuple[int, int, int, int]]",
+    gap_open: int,
+    gap_extend: int,
+) -> "list[TracebackAlignment | None]":
+    """Traceback-align every box, filling the DP matrices in lockstep.
+
+    The lanes x band batching of the gapped-extension phase, applied to
+    the phase-4 re-score: boxes are stacked into padded
+    ``(lanes, n+1, m+1)`` slabs and every DP advances one query row per
+    step with whole-slab vectorised ops. Lanes are sorted longest-first
+    so the lanes still holding row ``i`` always form a prefix of the
+    slab, and chunks are cut to :data:`_CHUNK_CELL_BUDGET` padded cells.
+
+    Right-padding columns (``j > m`` for a lane) hold garbage, but every
+    in-row dependency flows left-to-right and the diagonal reads column
+    ``j - 1``, so real cells never read a padded one; the walk-back then
+    runs on the exact ``(n+1, m+1)`` view of each lane. Results are
+    element-wise identical to per-box :func:`traceback_align` — the
+    property suite pins it.
+
+    ``subjects`` carries one full encoded subject per box (duplicates
+    are fine); returns one entry per box, in input order.
+    """
+    num = len(boxes)
+    out: "list[TracebackAlignment | None]" = [None] * num
+    if num == 0:
+        return out
+    go, ge = int(gap_open), int(gap_extend)
+    qlen = pssm.shape[1]
+    lanes: list[tuple[int, int, int, int, int]] = []
+    for k, (box, subject) in enumerate(zip(boxes, subjects)):
+        qs, qe, ss, se = box
+        if not (0 <= qs <= qe < qlen and 0 <= ss <= se < subject.size):
+            raise ValueError(f"box {box} out of bounds")
+        lanes.append((k, qs, ss, qe - qs + 1, se - ss + 1))
+    lanes.sort(key=lambda lane: -lane[3])
+    start = 0
+    while start < len(lanes):
+        n_max = lanes[start][3]
+        m_max = lanes[start][4]
+        stop = start + 1
+        while stop < len(lanes):
+            m_next = max(m_max, lanes[stop][4])
+            if (stop + 1 - start) * (n_max + 1) * (m_next + 1) > _CHUNK_CELL_BUDGET:
+                break
+            m_max = m_next
+            stop += 1
+        _fill_chunk(pssm, query_codes, subjects, lanes[start:stop], go, ge, out)
+        start = stop
+    return out
+
+
+def _fill_chunk(
+    pssm: np.ndarray,
+    query_codes: np.ndarray,
+    subjects: "list[np.ndarray]",
+    chunk: "list[tuple[int, int, int, int, int]]",
+    go: int,
+    ge: int,
+    out: "list[TracebackAlignment | None]",
+) -> None:
+    """Fill one n-descending chunk of ``(k, qs, ss, n, m)`` lanes and walk
+    each lane's view, writing results into ``out[k]``."""
+    count = len(chunk)
+    n_arr = np.array([lane[3] for lane in chunk], dtype=np.int64)
+    qs_arr = np.array([lane[1] for lane in chunk], dtype=np.int64)
+    n_max = int(n_arr[0])
+    m_max = max(lane[4] for lane in chunk)
+    scodes = np.zeros((count, m_max), dtype=np.uint8)
+    for idx, (k, _qs, ss, _n, m) in enumerate(chunk):
+        scodes[idx, :m] = subjects[k][ss : ss + m]
+    H = np.zeros((count, n_max + 1, m_max + 1), dtype=np.int64)
+    E = np.full((count, n_max + 1, m_max + 1), _NEG, dtype=np.int64)
+    F = np.full((count, n_max + 1, m_max + 1), _NEG, dtype=np.int64)
+    jj = np.arange(m_max + 1, dtype=np.int64)
+    for i in range(1, n_max + 1):
+        # Lanes are n-descending: those still holding row i are a prefix.
+        live = int(np.searchsorted(-n_arr, np.int64(-i), side="right"))
+        sub_row = pssm[scodes[:live], (qs_arr[:live] + i - 1)[:, None]].astype(
+            np.int64
+        )
+        E[:live, i, 1:] = np.maximum(
+            H[:live, i - 1, 1:] - go, E[:live, i - 1, 1:] - ge
+        )
+        diag = H[:live, i - 1, :-1] + sub_row
+        g = np.maximum.reduce(
+            [np.zeros((live, m_max), dtype=np.int64), diag, E[:live, i, 1:]]
+        )
+        g_full = np.concatenate(
+            (np.zeros((live, 1), dtype=np.int64), g), axis=1
+        )
+        t = g_full + ge * jj[None, :]
+        run = np.maximum.accumulate(t, axis=1)
+        F[:live, i, 1:] = run[:, :-1] - go - ge * (jj[None, 1:] - 1)
+        H[:live, i, 1:] = np.maximum(g, F[:live, i, 1:])
+    for idx, (k, qs, ss, n, m) in enumerate(chunk):
+        q = np.asarray(query_codes[qs : qs + n], dtype=np.uint8)
+        s = np.asarray(subjects[k][ss : ss + m], dtype=np.uint8)
+        out[k] = _walk(
+            pssm,
+            H[idx, : n + 1, : m + 1],
+            E[idx, : n + 1, : m + 1],
+            F[idx, : n + 1, : m + 1],
+            q,
+            s,
+            qs,
+            ss,
+            go,
+            ge,
+        )
+
+
+def _walk(
+    pssm: np.ndarray,
+    H: np.ndarray,
+    E: np.ndarray,
+    F: np.ndarray,
+    q: np.ndarray,
+    s: np.ndarray,
+    qs: int,
+    ss: int,
+    go: int,
+    ge: int,
+) -> TracebackAlignment | None:
+    """Walk one filled box back from its best cell and render it.
+
+    ``H``/``E``/``F`` are the ``(n+1, m+1)`` score matrices of the box
+    (views into a batch slab are fine — only logical row-major order
+    matters); substitution scores are re-read from ``pssm`` on the path,
+    so no per-box score matrix needs to be materialised.
+    """
+    def sub(i: int, j: int) -> int:
+        return int(pssm[s[j - 1], qs + i - 1])
+
     best = int(H.max())
     if best <= 0:
         return None
@@ -116,7 +263,7 @@ def traceback_align(
         if state == "H":
             if H[i, j] == 0:
                 break
-            if H[i, j] == H[i - 1, j - 1] + sub[i - 1, j - 1]:
+            if H[i, j] == H[i - 1, j - 1] + sub(i, j):
                 aq.append(int(q[i - 1]))
                 asub.append(int(s[j - 1]))
                 i -= 1

@@ -52,6 +52,11 @@ class CuBlastpConfig:
         Threads for the CPU phases (gapped extension + traceback).
     num_db_blocks:
         Database blocks streamed through the GPU/CPU pipeline (Fig. 12).
+    gapped_mode:
+        Scheduling of the CPU gapped-extension phase: ``"wave"`` (the
+        batched lanes x band wavefront DP) or ``"serial"`` (the scalar
+        best-first loop, kept as the differential oracle). Results are
+        identical either way; the verify matrix pins it.
     """
 
     num_bins: int = 128
@@ -71,6 +76,7 @@ class CuBlastpConfig:
     ext_block_threads: int = 256
     cpu_threads: int = 4
     num_db_blocks: int = 4
+    gapped_mode: str = "wave"
 
     def __post_init__(self) -> None:
         if self.num_bins < 1:
@@ -88,3 +94,5 @@ class CuBlastpConfig:
             raise ConfigError("cpu_threads must be positive")
         if self.num_db_blocks < 1:
             raise ConfigError("num_db_blocks must be positive")
+        if self.gapped_mode not in ("wave", "serial"):
+            raise ConfigError(f"unknown gapped_mode {self.gapped_mode!r}")

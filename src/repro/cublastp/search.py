@@ -76,12 +76,18 @@ class CuBlastp:
         events: EventLog | None = None,
         query_id: str | None = None,
     ) -> None:
-        self.pipe = BlastpPipeline(query, params, events=None, query_id=query_id)
+        self.config = config or CuBlastpConfig()
+        self.pipe = BlastpPipeline(
+            query,
+            params,
+            events=None,
+            query_id=query_id,
+            gapped_mode=self.config.gapped_mode,
+        )
         self.events = events
         self.query_id = query_id
         if self.pipe.compiled is not None:
             self._check_word_length(self.pipe.params)
-        self.config = config or CuBlastpConfig()
         self.device = device
 
     @staticmethod

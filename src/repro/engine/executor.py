@@ -443,15 +443,25 @@ class BatchExecutor:
                     extensions[q].append(part)
                     block_items += len(part)
                 if self.events is not None:
-                    # Worker-timed sweep: the worker already paired the
-                    # phases; the parent records the closing edge with the
-                    # measured wall.
+                    # Worker-timed sweep: the worker already timed the
+                    # phases; the parent records closing edges carrying
+                    # the measured walls, split by phase exactly like the
+                    # in-process sweep (wall_breakdown sums the wall_ms
+                    # meta directly — it never saw the starts).
+                    split = payload["phase_wall_ms"]
                     self.events.emit(  # reprolint: disable=event-begin-end-pairing
                         engine_name,
-                        "db_sweep_block",
+                        "hit_detection",
+                        "end",
+                        work_items=sum(payload["num_hits"]),
+                        wall_ms=split["hit_detection"],
+                    )
+                    self.events.emit(  # reprolint: disable=event-begin-end-pairing
+                        engine_name,
+                        "ungapped_extension",
                         "end",
                         work_items=block_items,
-                        wall_ms=payload["wall_ms"],
+                        wall_ms=split["ungapped_extension"],
                     )
         finally:
             pool.shutdown()

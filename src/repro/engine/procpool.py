@@ -301,7 +301,7 @@ class SweepBlockSpec:
         from repro.core.sweep import sweep_extend_block
 
         t0 = time.perf_counter()
-        extensions, num_hits, num_seeds = sweep_extend_block(
+        extensions, num_hits, num_seeds, phase_wall = sweep_extend_block(
             state.index,
             state.pipelines,
             state.blocks[block_index],
@@ -320,6 +320,10 @@ class SweepBlockSpec:
                 extensions_to_payload(per_query) for per_query in extensions
             ],
             "wall_ms": (time.perf_counter() - t0) * 1e3,
+            # Worker-side phase split, so the parent can attribute the
+            # block's wall to hit detection vs ungapped extension instead
+            # of one opaque sweep number.
+            "phase_wall_ms": {k: float(v) for k, v in phase_wall.items()},
         }
 
 

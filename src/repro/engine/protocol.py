@@ -116,8 +116,14 @@ ENGINE_NAMES = ("cublastp", "reference", "fsa", "ncbi", "cuda-blastp", "gpu-blas
 #: ``cublastp`` accepts an extension-strategy suffix, e.g.
 #: ``"cublastp:diagonal"`` — one name per Fig. 9 strategy, used by the
 #: differential-verification matrix to pin each strategy as its own
-#: implementation under test.
-CUBLASTP_STRATEGY_NAMES = ("cublastp:diagonal", "cublastp:hit", "cublastp:window")
+#: implementation under test. ``cublastp:batched-gapped`` pins the CPU
+#: side instead: the batched wavefront gapped-extension scheduler.
+CUBLASTP_STRATEGY_NAMES = (
+    "cublastp:diagonal",
+    "cublastp:hit",
+    "cublastp:window",
+    "cublastp:batched-gapped",
+)
 
 
 def make_engine(
@@ -158,19 +164,38 @@ def make_engine(
                     "config, not both"
                 )
             strategy = name.split(":", 1)[1]
-            try:
-                mode = ExtensionMode(strategy)
-            except ValueError:
-                raise ValueError(
-                    f"unknown cublastp extension strategy {strategy!r} "
-                    f"(choose from {', '.join(m.value for m in ExtensionMode)})"
-                ) from None
-            config = CuBlastpConfig(extension_mode=mode)
+            if strategy == "batched-gapped":
+                # The CPU-side pin: gapped extension explicitly on the
+                # batched wavefront scheduler (the engine default, named
+                # so the verify matrix tracks it as its own variant).
+                config = CuBlastpConfig(gapped_mode="wave")
+            else:
+                try:
+                    mode = ExtensionMode(strategy)
+                except ValueError:
+                    raise ValueError(
+                        f"unknown cublastp extension strategy {strategy!r} "
+                        f"(choose from "
+                        f"{', '.join(m.value for m in ExtensionMode)}, "
+                        f"batched-gapped)"
+                    ) from None
+                config = CuBlastpConfig(extension_mode=mode)
         return CuBlastp(None, params, config, device or K20C, events=events)
-    if name == "reference":
+    if name == "reference" or name.startswith("reference:"):
         from repro.core.pipeline import BlastpPipeline
 
-        return BlastpPipeline(None, params, events=events)
+        gapped_mode = "wave"
+        if name != "reference":
+            suffix = name.split(":", 1)[1]
+            if suffix != "serial-gapped":
+                raise ValueError(
+                    f"unknown reference variant {suffix!r} "
+                    "(choose from serial-gapped)"
+                )
+            gapped_mode = "serial"
+        return BlastpPipeline(
+            None, params, events=events, gapped_mode=gapped_mode
+        )
     if name == "fsa":
         from repro.baselines.fsa_blast import FsaBlast
 

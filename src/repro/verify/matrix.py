@@ -162,6 +162,7 @@ DEFAULT_VARIANTS: tuple[EngineVariant, ...] = (
     EngineVariant("cublastp-sanitize", "cublastp", sanitize=True),
     EngineVariant("cublastp-batched", "cublastp", path="sweep"),
     EngineVariant("cublastp-batched-process", "cublastp", path="sweep-process"),
+    EngineVariant("cublastp-batched-gapped", "cublastp:batched-gapped"),
 )
 
 #: Variant names accepted by ``repro verify --engines``.
@@ -200,7 +201,14 @@ def variants_by_name(names: "list[str] | tuple[str, ...]") -> list[EngineVariant
 
 
 class OracleRunner:
-    """Callable running a case through the oracle engine."""
+    """Callable running a case through the oracle engine.
+
+    The oracle runs the reference pipeline with ``gapped_mode="serial"``
+    — the scalar best-first gapped loop — while every variant under test
+    defaults to the batched wavefront scheduler, so each of the matrix's
+    comparisons doubles as a continuous batched-vs-serial differential
+    on the gapped-extension rewrite.
+    """
 
     name = ORACLE_NAME
 
@@ -209,7 +217,7 @@ class OracleRunner:
 
     def __call__(self, case: "Case") -> "SearchResult":
         params = self.params_override or case.params
-        engine = make_engine(ORACLE_NAME, params)
+        engine = make_engine(f"{ORACLE_NAME}:serial-gapped", params)
         return engine.run(engine.compile(case.query), case.db)
 
 

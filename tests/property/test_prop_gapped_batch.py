@@ -1,0 +1,228 @@
+"""Property tests pinning the batched wavefront gapped extension.
+
+Two equivalences, each the load-bearing claim of one layer of the PR:
+
+* lane level — :func:`~repro.core.gapped_batch.batch_half_extend` run on
+  a stack of random half-extensions equals the scalar
+  :func:`~repro.core.gapped._half_extend` lane for lane on every
+  :class:`~repro.core.gapped.HalfExtension` field (score, best cell,
+  reach, cell count);
+* schedule level — the wave scheduler's accepted set, field values, and
+  output order equal the serial best-first loop's on workloads built to
+  stress the containment rule (many triggers per sequence with
+  overlapping bounding boxes).
+
+Plus the phase-4 rider: batched box fills
+(:func:`~repro.core.traceback.batch_traceback_align`) equal per-box
+:func:`~repro.core.traceback.traceback_align`.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import encode
+from repro.core.gapped import _half_extend, gapped_extend
+from repro.core.gapped_batch import batch_gapped_extend, batch_half_extend
+from repro.core.pipeline import BlastpPipeline
+from repro.core.statistics import SearchParams
+from repro.core.traceback import batch_traceback_align, traceback_align
+from repro.io.database import SequenceDatabase
+from repro.matrices import BLOSUM62, build_pssm
+
+RESIDUES = "ARNDCQEGHILKMFPSTWYV"
+
+
+def _score_table(rng, ncodes, qlen):
+    """A random PSSM-shaped score table with BLOSUM-like magnitudes."""
+    return rng.integers(-6, 8, size=(ncodes, qlen)).astype(np.int64)
+
+
+def _materialise(pssm, codes, qa, qd, sa, sd, n, m):
+    """The scalar walk-order score matrix a lane's parameters denote."""
+    scores = np.empty((n, m), dtype=np.int64)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            scores[i - 1, j - 1] = pssm[codes[sa + sd * j], qa + qd * i]
+    return scores
+
+
+class TestBatchHalfExtendEquivalence:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 12),
+        st.integers(1, 14),
+        st.integers(1, 4),
+        st.integers(0, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_lane_for_lane(self, seed, lanes, go, ge, xd):
+        rng = np.random.default_rng(seed)
+        qlen, clen, ncodes = 40, 120, 24
+        pssm = _score_table(rng, ncodes, qlen)
+        codes = rng.integers(0, ncodes, size=clen).astype(np.uint8)
+        qa = np.empty(lanes, dtype=np.int64)
+        sa = np.empty(lanes, dtype=np.int64)
+        qd = np.empty(lanes, dtype=np.int64)
+        sd = np.empty(lanes, dtype=np.int64)
+        nn = np.empty(lanes, dtype=np.int64)
+        mm = np.empty(lanes, dtype=np.int64)
+        for k in range(lanes):
+            d = 1 if rng.integers(0, 2) else -1
+            qd[k] = sd[k] = d
+            if d < 0:
+                qa[k] = rng.integers(0, qlen)
+                sa[k] = rng.integers(0, clen)
+                nn[k] = rng.integers(0, qa[k] + 1)
+                mm[k] = rng.integers(0, sa[k] + 1)
+            else:
+                qa[k] = rng.integers(0, qlen)
+                sa[k] = rng.integers(0, clen)
+                nn[k] = rng.integers(0, qlen - qa[k])
+                mm[k] = rng.integers(0, clen - sa[k])
+        best, bi, bj, ri, rj, cells = batch_half_extend(
+            pssm, codes, qa, qd, sa, sd, nn, mm, go, ge, xd
+        )
+        for k in range(lanes):
+            scores = _materialise(
+                pssm, codes, int(qa[k]), int(qd[k]), int(sa[k]), int(sd[k]),
+                int(nn[k]), int(mm[k]),
+            )
+            want = _half_extend(scores, go, ge, xd)
+            got = (best[k], bi[k], bj[k], ri[k], rj[k], cells[k])
+            assert got == (
+                want.best, want.best_i, want.best_j,
+                want.reach_i, want.reach_j, want.cells,
+            ), (k, got, want)
+
+
+class TestBatchGappedExtendEquivalence:
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scalar_per_seed(self, seed, num_seeds):
+        rng = np.random.default_rng(seed)
+        params = SearchParams()
+        query = "".join(RESIDUES[i] for i in rng.integers(0, 20, 60))
+        qc = encode(query)
+        pssm = build_pssm(qc, BLOSUM62)
+        db = SequenceDatabase.from_strings(
+            [
+                "".join(RESIDUES[i] for i in rng.integers(0, 20, int(n)))
+                for n in rng.integers(10, 200, size=8)
+            ]
+        )
+        seq_ids = rng.integers(0, len(db), size=num_seeds).astype(np.int64)
+        lens = db.offsets[seq_ids + 1] - db.offsets[seq_ids]
+        seed_q = rng.integers(0, len(query), size=num_seeds).astype(np.int64)
+        seed_s = (rng.random(num_seeds) * lens).astype(np.int64)
+        go, ge, xd = params.gap_open, params.gap_extend, 38
+        got = batch_gapped_extend(pssm, db, seq_ids, seed_q, seed_s, go, ge, xd)
+        for k in range(num_seeds):
+            want = gapped_extend(
+                pssm, db.sequence(int(seq_ids[k])), int(seq_ids[k]),
+                int(seed_q[k]), int(seed_s[k]), go, ge, xd,
+            )
+            g = got[k]
+            assert (
+                g.score, g.query_start, g.query_end,
+                g.subject_start, g.subject_end,
+                g.box_query_start, g.box_query_end,
+                g.box_subject_start, g.box_subject_end, g.cells,
+            ) == (
+                want.score, want.query_start, want.query_end,
+                want.subject_start, want.subject_end,
+                want.box_query_start, want.box_query_end,
+                want.box_subject_start, want.box_subject_end, want.cells,
+            ), (k, g, want)
+
+
+def _adversarial_db(rng, query, num_seqs):
+    """Sequences spliced from query fragments: many triggers per sequence
+    whose bounding boxes overlap — the containment rule's worst case."""
+    seqs = []
+    for _ in range(num_seqs):
+        parts = []
+        for _ in range(int(rng.integers(1, 5))):
+            a = int(rng.integers(0, len(query) - 8))
+            b = int(rng.integers(a + 6, min(len(query), a + 40) + 1))
+            frag = list(query[a:b])
+            for _ in range(int(rng.integers(0, 3))):
+                frag[int(rng.integers(0, len(frag)))] = RESIDUES[
+                    int(rng.integers(0, 20))
+                ]
+            parts.append("".join(frag))
+            if rng.integers(0, 2):
+                parts.append(
+                    "".join(RESIDUES[i] for i in rng.integers(0, 20, 5))
+                )
+        seqs.append("".join(parts))
+    return SequenceDatabase.from_strings(seqs)
+
+
+class TestWaveEqualsSerial:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_phase_gapped_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        params = SearchParams()
+        query = "".join(RESIDUES[i] for i in rng.integers(0, 20, 90))
+        db = _adversarial_db(rng, query, 12)
+        wave = BlastpPipeline(query, params, gapped_mode="wave")
+        serial = BlastpPipeline(query, params, gapped_mode="serial")
+        cutoffs = wave.cutoffs(db)
+        hits = wave.phase_hit_detection(db)
+        extensions, _seeds = wave.phase_ungapped(hits, db, cutoffs)
+        got, got_triggers = wave.phase_gapped(extensions, db, cutoffs)
+        want, want_triggers = serial.phase_gapped(extensions, db, cutoffs)
+        assert got_triggers == want_triggers
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert g == w
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_search_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        params = SearchParams()
+        query = "".join(RESIDUES[i] for i in rng.integers(0, 20, 70))
+        db = _adversarial_db(rng, query, 8)
+        got = BlastpPipeline(query, params, gapped_mode="wave").search(db)
+        want = BlastpPipeline(query, params, gapped_mode="serial").search(db)
+        assert got.alignments == want.alignments
+        assert got.num_gapped_extensions == want.num_gapped_extensions
+        assert got.num_reported == want.num_reported
+
+
+class TestBatchTracebackEquivalence:
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 25))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_scalar_per_box(self, seed, num_boxes):
+        rng = np.random.default_rng(seed)
+        params = SearchParams()
+        query = "".join(RESIDUES[i] for i in rng.integers(0, 20, 50))
+        qc = encode(query)
+        pssm = build_pssm(qc, BLOSUM62)
+        subjects, boxes = [], []
+        for _ in range(num_boxes):
+            slen = int(rng.integers(5, 120))
+            subjects.append(
+                encode("".join(RESIDUES[i] for i in rng.integers(0, 20, slen)))
+            )
+            qs = int(rng.integers(0, len(query)))
+            ss = int(rng.integers(0, slen))
+            boxes.append(
+                (
+                    qs,
+                    int(rng.integers(qs, len(query))),
+                    ss,
+                    int(rng.integers(ss, slen)),
+                )
+            )
+        got = batch_traceback_align(
+            pssm, qc, subjects, boxes, params.gap_open, params.gap_extend
+        )
+        for k, (s, box) in enumerate(zip(subjects, boxes)):
+            want = traceback_align(
+                pssm, qc, s, box, params.gap_open, params.gap_extend
+            )
+            assert got[k] == want, (k, box)
