@@ -23,7 +23,7 @@ from repro.analysis.rules import ALL_RULES, RULE_NAMES, rule_by_name
 DEFAULT_PATHS = ("src",)
 
 
-def add_lint_parser(sub: "argparse._SubParsersAction") -> None:
+def add_lint_parser(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
     p = sub.add_parser(
         "lint",
         help="run the reprolint static-analysis rules",
@@ -52,6 +52,22 @@ def add_lint_parser(sub: "argparse._SubParsersAction") -> None:
         action="store_true",
         help="list the available rules and exit",
     )
+    p.add_argument(
+        "--concurrency",
+        action="store_true",
+        help=(
+            "run the concurrency contract checkers only "
+            "(thread-ownership + whole-corpus lock-order)"
+        ),
+    )
+    p.add_argument(
+        "--selftest",
+        action="store_true",
+        help=(
+            "inject a lock-order inversion and an unguarded write and "
+            "require the concurrency checkers to catch both"
+        ),
+    )
     p.set_defaults(func=cmd_lint)
 
 
@@ -62,7 +78,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"{rule.name:<{width}}  {rule.description}")
         return 0
 
-    if args.rules:
+    if args.selftest:
+        from repro.analysis.concurrency import run_selftest
+
+        return run_selftest()
+
+    if args.concurrency:
+        rules = [rule_by_name("thread-ownership")]
+    elif args.rules:
         try:
             rules = [rule_by_name(name) for name in args.rules]
         except KeyError as exc:
@@ -78,18 +101,29 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 2
 
     findings, errors = run_lint(paths, rules)
+    rule_names = [r.name for r in rules]
+    lock_graph: "list[dict[str, object]] | None" = None
+    if args.concurrency:
+        from repro.analysis.concurrency import run_lock_order
+
+        order_findings, lock_graph, order_errors = run_lock_order(paths)
+        findings = sorted(
+            findings + order_findings,
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+        errors.extend(order_errors)
+        rule_names.append("lock-order")
 
     if args.json:
-        json.dump(
-            {
-                "rules": [r.name for r in rules],
-                "paths": [str(p) for p in paths],
-                "findings": [f.to_dict() for f in findings],
-                "errors": errors,
-            },
-            sys.stdout,
-            indent=2,
-        )
+        report: dict[str, object] = {
+            "rules": rule_names,
+            "paths": [str(p) for p in paths],
+            "findings": [f.to_dict() for f in findings],
+            "errors": errors,
+        }
+        if lock_graph is not None:
+            report["lock_graph"] = lock_graph
+        json.dump(report, sys.stdout, indent=2)
         print()
     else:
         for finding in findings:

@@ -1,0 +1,38 @@
+"""Concurrency contract checkers (static half of the lock witness).
+
+Two analyzers built on the reprolint ModuleSource framework:
+
+* :class:`~repro.analysis.concurrency.ownership.ThreadOwnershipRule` —
+  per-module, annotation-driven: writes to ``# guarded-by:`` attributes
+  must happen under the named lock (interprocedurally within the class),
+  and ``# owned-by:`` state must never be touched off its owner role.
+* :class:`~repro.analysis.concurrency.lockorder.LockOrderAnalyzer` —
+  whole-corpus: builds the static lock-acquisition graph (nested
+  ``with``-lock scopes plus calls into acquiring methods) and fails on
+  cycles, printing the witness path.
+
+``repro lint --concurrency`` runs both; ``--selftest`` injects a real
+lock inversion and an unguarded write and requires both caught. The
+runtime counterpart lives in :mod:`repro.analysis.witness`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concurrency.contracts import (
+    ClassContracts,
+    LockInfo,
+    collect_contracts,
+)
+from repro.analysis.concurrency.lockorder import LockOrderAnalyzer, run_lock_order
+from repro.analysis.concurrency.ownership import ThreadOwnershipRule
+from repro.analysis.concurrency.selftest import run_selftest
+
+__all__ = [
+    "ClassContracts",
+    "LockInfo",
+    "LockOrderAnalyzer",
+    "ThreadOwnershipRule",
+    "collect_contracts",
+    "run_lock_order",
+    "run_selftest",
+]

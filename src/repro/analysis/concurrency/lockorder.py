@@ -1,0 +1,474 @@
+"""lock-order: the static lock-acquisition graph must be acyclic.
+
+The analyzer runs over a whole corpus at once (default: ``serve/``,
+``engine/``, ``io/store.py`` — wherever ``repro lint --concurrency`` is
+pointed), because deadlocks are a cross-module property:
+
+1. **Lock discovery.** ``self.X = threading.Lock()/RLock()/Condition()``
+   (or the witness factories ``new_lock``/``new_condition``) names lock
+   ``Class.X``; a module-level assignment names ``module.X``.
+2. **Acquisition scan.** Every function body is walked with the ordered
+   list of statically held locks: a nested ``with`` lock scope adds
+   edges *held → acquired*; a call made under a lock adds edges from
+   every held lock to everything the callee (transitively) acquires.
+   Calls resolve through ``self`` methods, attribute types recorded in
+   ``__init__`` (``self.cache = ResultCache(...)``), module/global
+   function names, and — for untyped receivers — a conservative
+   name-match fallback restricted to distinctive method names.
+3. **Cycle check.** Any cycle in the resulting graph is a potential
+   deadlock; the finding prints the full witness path, one source site
+   per edge. A self-edge through a non-reentrant lock (plain ``Lock``)
+   is reported as a guaranteed self-deadlock; re-entrant primitives
+   (``RLock``, ``Condition``) may self-nest.
+
+The over-approximation is deliberate: a spurious edge can only make the
+checker stricter, and the per-line ``# reprolint: disable=lock-order``
+escape hatch (applied at the cycle's anchor site) keeps false positives
+cheap to triage.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.analysis.base import (
+    Finding,
+    ModuleSource,
+    dotted_name,
+    iter_python_files,
+)
+from repro.analysis.concurrency.contracts import (
+    ClassContracts,
+    ModuleContracts,
+    collect_contracts,
+    with_lock_names,
+)
+
+__all__ = ["LockOrderAnalyzer", "run_lock_order"]
+
+#: Method names too generic for name-match call resolution: shared with
+#: builtin containers / file objects, so an untyped ``x.get(...)`` must
+#: not resolve to ``ResultCache.get``.
+_AMBIGUOUS_METHODS = frozenset(
+    {
+        "acquire", "add", "append", "cancel", "clear", "close", "copy",
+        "count", "done", "extend", "flush", "get", "index", "insert",
+        "items", "join", "keys", "locked", "notify", "notify_all",
+        "open", "pop", "put", "read", "release", "remove", "result",
+        "run", "send", "sort", "start", "update", "values", "wait",
+        "write",
+    }
+)
+
+#: Maximum classes a fallback name-match may resolve to before we treat
+#: the name as too common to mean anything.
+_MAX_FALLBACK_CANDIDATES = 3
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """Where one ordering edge was observed in source."""
+
+    path: str
+    line: int
+    function: str
+    via: str  # "" for direct nesting, "call to X" otherwise
+
+    def describe(self) -> str:
+        where = f"{self.path}:{self.line} in {self.function}"
+        return f"{where} ({self.via})" if self.via else where
+
+
+@dataclass
+class _FunctionInfo:
+    """One function in the corpus with its acquisition behaviour."""
+
+    qualname: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    module: ModuleSource
+    cls: ClassContracts | None
+    contracts: ModuleContracts
+    #: lock ids acquired directly via ``with`` in this body.
+    direct: set[str] = field(default_factory=set)
+    #: nested-with edges: (src, dst, site-node).
+    nest_edges: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    #: calls: (held lock ids at the call, call node).
+    calls: list[tuple[tuple[str, ...], ast.Call]] = field(
+        default_factory=list
+    )
+
+
+class _Corpus:
+    """Cross-module name registries for call resolution."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, _FunctionInfo] = {}
+        self.class_methods: dict[str, list[str]] = {}  # method -> [Class]
+        self.classes: dict[str, ClassContracts] = {}
+        self.global_functions: dict[str, list[str]] = {}  # name -> quals
+        self.reentrant: dict[str, bool] = {}  # lock id -> re-entrant?
+
+
+def _resolve_with_lock(
+    name: str, cls: ClassContracts | None, contracts: ModuleContracts
+) -> str | None:
+    """Lock id for a with-item dotted name, if it names a known lock."""
+    if name.startswith("self.") and cls is not None:
+        attr = name[len("self."):]
+        info = cls.locks.get(attr)
+        return info.qualname if info is not None else None
+    info = contracts.module_locks.get(name)
+    return info.qualname if info is not None else None
+
+
+class _AcqScanner:
+    """Populate one :class:`_FunctionInfo` from its body."""
+
+    def __init__(self, fn: _FunctionInfo) -> None:
+        self.fn = fn
+
+    def scan(self) -> None:
+        for stmt in self.fn.node.body:
+            self._visit(stmt, ())
+
+    def _visit(self, node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(node, ast.With):
+            for item in node.items:
+                self._visit(item.context_expr, held)
+            acquired: list[str] = []
+            for name in with_lock_names(node):
+                lock = _resolve_with_lock(name, self.fn.cls, self.fn.contracts)
+                if lock is None:
+                    continue
+                self.fn.direct.add(lock)
+                for prev in held + tuple(acquired):
+                    self.fn.nest_edges.append((prev, lock, node))
+                acquired.append(lock)
+            inner = held + tuple(acquired)
+            for stmt in node.body:
+                self._visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs execute elsewhere
+        if isinstance(node, ast.Call):
+            self.fn.calls.append((held, node))
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+
+def _receiver_type(
+    expr: ast.expr, cls: ClassContracts | None
+) -> str | None:
+    """Static type of a call receiver, when ``__init__`` recorded it."""
+    if cls is None:
+        return None
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return cls.attr_types.get(expr.attr)
+    return None
+
+
+def _resolve_call(
+    call: ast.Call, fn: _FunctionInfo, corpus: _Corpus
+) -> list[str]:
+    """Qualnames of corpus functions this call may enter."""
+    func = call.func
+    # len(x) dispatches to __len__ — the one builtin worth modelling,
+    # because container facades (Coalescer) lock their size query.
+    if (
+        isinstance(func, ast.Name)
+        and func.id == "len"
+        and len(call.args) == 1
+    ):
+        rtype = _receiver_type(call.args[0], fn.cls)
+        if rtype is not None and f"{rtype}.__len__" in corpus.functions:
+            return [f"{rtype}.__len__"]
+        return []  # len() of an untyped receiver is almost always a list
+    if isinstance(func, ast.Name):
+        # Module-level / imported function, or a constructor.
+        if f"{func.id}.__init__" in corpus.functions:
+            return [f"{func.id}.__init__"]
+        return list(corpus.global_functions.get(func.id, ()))
+    if not isinstance(func, ast.Attribute):
+        return []
+    method = func.attr
+    if isinstance(func.value, ast.Name) and func.value.id == "self":
+        if fn.cls is not None and method in fn.cls.methods:
+            return [f"{fn.cls.name}.{method}"]
+        return []  # self.<callable-attr>(...): receiver type unknown
+    rtype = _receiver_type(func.value, fn.cls)
+    if rtype is not None:
+        qual = f"{rtype}.{method}"
+        return [qual] if qual in corpus.functions else []
+    return _fallback_by_name(method, corpus)
+
+
+def _fallback_by_name(method: str, corpus: _Corpus) -> list[str]:
+    if method in _AMBIGUOUS_METHODS or method.startswith("__"):
+        return []
+    owners = corpus.class_methods.get(method, [])
+    if not owners or len(owners) > _MAX_FALLBACK_CANDIDATES:
+        return []
+    return [f"{owner}.{method}" for owner in owners]
+
+
+def _canonical(cycle: list[str]) -> tuple[str, ...]:
+    rotations = [tuple(cycle[i:] + cycle[:i]) for i in range(len(cycle))]
+    return min(rotations)
+
+
+class LockOrderAnalyzer:
+    """Whole-corpus static deadlock check (see module docstring)."""
+
+    name = "lock-order"
+    description = (
+        "the static lock-acquisition graph (nested with scopes + calls "
+        "into acquiring methods) must be acyclic"
+    )
+
+    def analyze(
+        self, modules: Sequence[ModuleSource]
+    ) -> tuple[list[Finding], list[dict[str, object]]]:
+        """Returns ``(findings, edge records for --json)``."""
+        corpus = self._build_corpus(modules)
+        acq = self._transitive_acquires(corpus)
+        edges = self._build_edges(corpus, acq)
+        findings = list(self._self_deadlocks(corpus, edges))
+        findings.extend(self._cycles(edges))
+        edge_records: list[dict[str, object]] = [
+            {
+                "src": src,
+                "dst": dst,
+                "path": site.path,
+                "line": site.line,
+                "function": site.function,
+                "via": site.via,
+            }
+            for (src, dst), site in sorted(edges.items())
+        ]
+        return findings, edge_records
+
+    # -- corpus ----------------------------------------------------------
+
+    def _build_corpus(self, modules: Sequence[ModuleSource]) -> _Corpus:
+        corpus = _Corpus()
+        for module in modules:
+            contracts = collect_contracts(module)
+            for info in contracts.module_locks.values():
+                corpus.reentrant[info.qualname] = info.reentrant
+            for name, node in contracts.functions.items():
+                qual = f"{module.path.stem}.{name}"
+                corpus.functions[qual] = _FunctionInfo(
+                    qualname=qual,
+                    node=node,
+                    module=module,
+                    cls=None,
+                    contracts=contracts,
+                )
+                corpus.global_functions.setdefault(name, []).append(qual)
+            for cls in contracts.classes:
+                corpus.classes[cls.name] = cls
+                for info in cls.locks.values():
+                    corpus.reentrant[info.qualname] = info.reentrant
+                for mname, mnode in cls.methods.items():
+                    qual = f"{cls.name}.{mname}"
+                    corpus.functions[qual] = _FunctionInfo(
+                        qualname=qual,
+                        node=mnode,
+                        module=module,
+                        cls=cls,
+                        contracts=contracts,
+                    )
+                    corpus.class_methods.setdefault(mname, []).append(
+                        cls.name
+                    )
+        for fn in corpus.functions.values():
+            _AcqScanner(fn).scan()
+        return corpus
+
+    def _transitive_acquires(self, corpus: _Corpus) -> dict[str, set[str]]:
+        """ACQ*: locks a call into each function may end up acquiring."""
+        acq = {q: set(fn.direct) for q, fn in corpus.functions.items()}
+        resolved: dict[str, list[str]] = {
+            q: [
+                callee
+                for _, call in fn.calls
+                for callee in _resolve_call(call, fn, corpus)
+            ]
+            for q, fn in corpus.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qual, callees in resolved.items():
+                bucket = acq[qual]
+                before = len(bucket)
+                for callee in callees:
+                    bucket.update(acq.get(callee, ()))
+                if len(bucket) != before:
+                    changed = True
+        return acq
+
+    def _build_edges(
+        self, corpus: _Corpus, acq: dict[str, set[str]]
+    ) -> dict[tuple[str, str], EdgeSite]:
+        edges: dict[tuple[str, str], EdgeSite] = {}
+
+        def add(src: str, dst: str, site: EdgeSite) -> None:
+            edges.setdefault((src, dst), site)
+
+        for qual, fn in corpus.functions.items():
+            rel = str(fn.module.path)
+            for src, dst, node in fn.nest_edges:
+                if src == dst:
+                    # Re-entry is a self-deadlock question (decided by
+                    # reentrancy in _self_deadlocks), not an ordering edge.
+                    continue
+                add(
+                    src,
+                    dst,
+                    EdgeSite(
+                        path=rel,
+                        line=getattr(node, "lineno", 1),
+                        function=qual,
+                        via="",
+                    ),
+                )
+            for held, call in fn.calls:
+                if not held:
+                    continue
+                for callee in _resolve_call(call, fn, corpus):
+                    inner = acq.get(callee, set())
+                    for src in held:
+                        for dst in inner:
+                            if src == dst:
+                                continue  # re-entry handled separately
+                            add(
+                                src,
+                                dst,
+                                EdgeSite(
+                                    path=rel,
+                                    line=getattr(call, "lineno", 1),
+                                    function=qual,
+                                    via=f"call to {callee}",
+                                ),
+                            )
+        return edges
+
+    # -- findings ----------------------------------------------------------
+
+    def _self_deadlocks(
+        self, corpus: _Corpus, edges: dict[tuple[str, str], EdgeSite]
+    ) -> Iterator[Finding]:
+        # Direct nesting of the same non-reentrant lock: with self._l:
+        # with self._l: — a guaranteed deadlock, not just an ordering
+        # hazard. (Call-mediated re-entry is intentionally *not* flagged
+        # statically: helper methods legitimately document
+        # caller-holds-the-lock, which the thread-ownership rule proves.)
+        for qual, fn in corpus.functions.items():
+            for src, dst, node in fn.nest_edges:
+                if src == dst and not corpus.reentrant.get(src, True):
+                    yield fn.module.finding(
+                        self.name,
+                        node,
+                        f"non-reentrant lock {src} is re-acquired while "
+                        "already held (self-deadlock)",
+                    )
+
+    def _cycles(
+        self, edges: dict[tuple[str, str], EdgeSite]
+    ) -> Iterator[Finding]:
+        graph: dict[str, list[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, []).append(dst)
+            graph.setdefault(dst, [])
+        seen_cycles: set[tuple[str, ...]] = set()
+        for (src, dst), site in sorted(edges.items()):
+            path = self._reach(graph, dst, src)
+            if path is None:
+                continue
+            # `path` runs dst .. src inclusive; drop the trailing src so
+            # the cycle lists each lock once (the modulo below closes it).
+            cycle = [src] + path[:-1]
+            key = _canonical(cycle)
+            if key in seen_cycles:
+                continue
+            seen_cycles.add(key)
+            hops: list[str] = []
+            for i, node_name in enumerate(cycle):
+                nxt = cycle[(i + 1) % len(cycle)]
+                hop_site = edges.get((node_name, nxt))
+                where = f" [{hop_site.describe()}]" if hop_site else ""
+                hops.append(f"{node_name} -> {nxt}{where}")
+            yield Finding(
+                rule=self.name,
+                path=site.path,
+                line=site.line,
+                col=0,
+                message=(
+                    "lock-order cycle (potential deadlock): "
+                    + "; ".join(hops)
+                ),
+            )
+
+    @staticmethod
+    def _reach(
+        graph: dict[str, list[str]], start: str, target: str
+    ) -> list[str] | None:
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        seen: set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == target:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in sorted(graph.get(node, ())):
+                if nxt not in seen:
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+
+def run_lock_order(
+    paths: Sequence[Path | str],
+) -> tuple[list[Finding], list[dict[str, object]], list[str]]:
+    """Parse ``paths`` and run the lock-order analyzer over the corpus.
+
+    Returns ``(findings, edge records, parse errors)``. Suppressions
+    (``# reprolint: disable=lock-order`` on a cycle's anchor line,
+    ``disable-file`` in the header) are honoured the same way
+    :func:`repro.analysis.base.check_module` does for per-module rules.
+    """
+    modules: list[ModuleSource] = []
+    by_path: dict[str, ModuleSource] = {}
+    errors: list[str] = []
+    for path in iter_python_files(paths):
+        try:
+            module = ModuleSource.parse(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        modules.append(module)
+        by_path[str(path)] = module
+    analyzer = LockOrderAnalyzer()
+    findings, edges = analyzer.analyze(modules)
+    kept: list[Finding] = []
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None:
+            if analyzer.name in module.file_suppressed_rules():
+                continue
+            if analyzer.name in module.suppressed_rules_for_line(
+                finding.line
+            ):
+                continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept, edges, errors

@@ -1,0 +1,163 @@
+"""--selftest: inject known concurrency bugs, require the tools to bite.
+
+Mirrors ``repro verify --selftest`` (engine bug injection) and the
+gpusim hazard-injection tests: a checker that has never been seen to
+fail is not evidence of anything. Three injections:
+
+1. a **lock-order inversion** (A→B in one method, B→A in another) that
+   the static :class:`LockOrderAnalyzer` must report as a cycle;
+2. an **unguarded write** to a ``# guarded-by:`` attribute that the
+   static :class:`ThreadOwnershipRule` must flag — including the
+   interprocedural variant where the naked write hides in a private
+   helper reached from an unlocked public entry;
+3. the same inversion executed for real on instrumented locks, which
+   the runtime :class:`~repro.analysis.witness.LockWitnessRegistry`
+   must record as an observed cycle, plus a blocking call made under a
+   held witness lock.
+
+Exit 0 only when every injection is caught.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.base import ModuleSource
+from repro.analysis.concurrency.lockorder import LockOrderAnalyzer
+from repro.analysis.concurrency.ownership import ThreadOwnershipRule
+from repro.analysis.witness import LockWitnessRegistry, WitnessLock
+
+__all__ = ["run_selftest"]
+
+_INVERSION_SRC = '''\
+import threading
+
+
+class Inverted:
+    """Acquires a->b on the forward path and b->a on the backward one."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                return 2
+'''
+
+_UNGUARDED_SRC = '''\
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0  # guarded-by: self._lock
+        self.misses = 0  # guarded-by: self._lock
+
+    def record_hit(self):
+        self.hits += 1  # BUG: no lock
+
+    def record_miss(self):
+        self._bump_misses()  # BUG: public entry, lock never taken
+
+    def _bump_misses(self):
+        self.misses += 1
+'''
+
+
+def _check(label: str, ok: bool, detail: str, emit: Callable[[str], None]) -> bool:
+    emit(f"{'PASS' if ok else 'FAIL'}  {label}: {detail}")
+    return ok
+
+
+def run_selftest(emit: Callable[[str], None] = print) -> int:
+    """Run every injection; return 0 iff all were caught."""
+    ok = True
+
+    # 1. static lock-order inversion -----------------------------------
+    inv = ModuleSource.parse(
+        Path("selftest_inversion.py"), text=_INVERSION_SRC
+    )
+    findings, _edges = LockOrderAnalyzer().analyze([inv])
+    cycles = [f for f in findings if "cycle" in f.message]
+    ok &= _check(
+        "lock-order inversion",
+        bool(cycles),
+        cycles[0].message if cycles else "injected A->B/B->A cycle missed",
+        emit,
+    )
+
+    # 2. static unguarded writes ----------------------------------------
+    ung = ModuleSource.parse(
+        Path("selftest_unguarded.py"), text=_UNGUARDED_SRC
+    )
+    found = list(ThreadOwnershipRule().check(ung))
+    direct = [f for f in found if "hits" in f.message]
+    indirect = [f for f in found if "misses" in f.message]
+    ok &= _check(
+        "unguarded write (direct)",
+        bool(direct),
+        direct[0].message if direct else "naked self.hits += 1 missed",
+        emit,
+    )
+    ok &= _check(
+        "unguarded write (via helper)",
+        bool(indirect),
+        indirect[0].message
+        if indirect
+        else "helper write reached from unlocked public entry missed",
+        emit,
+    )
+
+    # 3. runtime witness ------------------------------------------------
+    registry = LockWitnessRegistry(enabled=True)
+    lock_a = WitnessLock("selftest.a", registry)
+    lock_b = WitnessLock("selftest.b", registry)
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with lock_a:
+            pass
+    runtime_cycles = [
+        v for v in registry.violations if v.kind == "lock-order-cycle"
+    ]
+    ok &= _check(
+        "runtime witness inversion",
+        bool(runtime_cycles),
+        runtime_cycles[0].detail
+        if runtime_cycles
+        else "executed inversion not recorded",
+        emit,
+    )
+
+    registry.reset()
+    with lock_a:
+        registry.note_blocking("selftest.Future.result()")
+    blocking = [
+        v
+        for v in registry.violations
+        if v.kind == "blocking-call-under-lock"
+    ]
+    ok &= _check(
+        "blocking call under lock",
+        bool(blocking),
+        blocking[0].detail
+        if blocking
+        else "blocking call under a held lock not recorded",
+        emit,
+    )
+
+    emit(
+        "concurrency selftest: "
+        + ("all injections caught" if ok else "INJECTION MISSED")
+    )
+    return 0 if ok else 1

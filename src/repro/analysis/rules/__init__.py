@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.analysis.base import Rule
+from repro.analysis.concurrency.ownership import ThreadOwnershipRule
 from repro.analysis.rules.api import PublicApiAllRule
 from repro.analysis.rules.events import EventPairingRule
 from repro.analysis.rules.excepts import BareExceptRule
@@ -24,6 +25,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BareExceptRule(),
     PublicApiAllRule(),
     PerRecordLoopRule(),
+    ThreadOwnershipRule(),
 )
 
 RULE_NAMES: tuple[str, ...] = tuple(r.name for r in ALL_RULES)

@@ -17,13 +17,13 @@ and the *compile-relevant* parameters, for repeated-query traffic.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
 import numpy as np
 
 from repro.alphabet import encode
+from repro.analysis.witness import new_lock, thread_shared
 from repro.matrices.pssm import build_pssm
 from repro.seeding.lookup import WordLookupTable
 from repro.seeding.words import build_neighborhood
@@ -90,8 +90,8 @@ class CompiledQuery:
         self.lookup = lookup
         self.pssm = pssm
         # One-slot DFA cache shared between with_params() siblings.
-        self._dfa_cell = _dfa_cell if _dfa_cell is not None else []
-        self._dfa_lock = threading.Lock()
+        self._dfa_cell = _dfa_cell if _dfa_cell is not None else []  # guarded-by: self._dfa_lock
+        self._dfa_lock = new_lock("CompiledQuery._dfa_lock")
 
     @property
     def query_length(self) -> int:
@@ -174,6 +174,7 @@ def _compile(query: "str | np.ndarray", params: SearchParams) -> CompiledQuery:
     return CompiledQuery(params, query_codes, mask, lookup, pssm)
 
 
+@thread_shared
 class QueryCache:
     """Thread-safe LRU cache of compiled queries.
 
@@ -188,10 +189,10 @@ class QueryCache:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+        self.hits = 0  # guarded-by: self._lock
+        self.misses = 0  # guarded-by: self._lock
+        self._lock = new_lock("QueryCache._lock")
+        self._entries: OrderedDict[tuple, CompiledQuery] = OrderedDict()  # guarded-by: self._lock
 
     def __len__(self) -> int:
         with self._lock:

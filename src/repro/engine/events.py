@@ -15,11 +15,12 @@ them. A search with no log attached emits nothing and pays nothing.
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
+
+from repro.analysis.witness import new_lock, thread_shared
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,7 @@ class PhaseEvent:
     meta: dict[str, Any] = field(default_factory=dict)
 
 
+@thread_shared
 class EventLog:
     """Thread-safe sink and query surface for :class:`PhaseEvent` streams.
 
@@ -76,8 +78,8 @@ class EventLog:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._events: list[PhaseEvent] = []
+        self._lock = new_lock("EventLog._lock")
+        self._events: list[PhaseEvent] = []  # guarded-by: self._lock
 
     def emit(
         self,

@@ -222,9 +222,13 @@ class BatchExecutor:
         self.spec = spec
         self.keep_pool = keep_pool
         self.max_respawns = max_respawns
-        self._pool: Any | None = None
-        self._pool_key: tuple | None = None
-        self._pool_cleanup: Any | None = None
+        # Pool residency is dispatcher-owned: exactly one thread drives
+        # stream()/run() at a time (the serve dispatcher, or whatever
+        # single thread owns this executor). The concurrency contract
+        # checker holds every other access to that discipline.
+        self._pool: Any | None = None  # owned-by: dispatcher
+        self._pool_key: tuple | None = None  # owned-by: dispatcher
+        self._pool_cleanup: Any | None = None  # owned-by: dispatcher
 
     @property
     def jobs_clamped(self) -> bool:
@@ -266,7 +270,7 @@ class BatchExecutor:
 
     # -- scheduling --------------------------------------------------------
 
-    def stream(
+    def stream(  # runs-on: dispatcher
         self, queries: Iterable[tuple[str, str]], db: "DatabaseLike"
     ) -> Iterator[QueryOutcome]:
         """Yield one :class:`QueryOutcome` per query, in input order.
@@ -594,11 +598,24 @@ class BatchExecutor:
 
     @property
     def process_pool(self) -> Any | None:
-        """The kept process pool, when one is alive (``keep_pool`` only)."""
-        return self._pool
+        """The kept process pool, when one is alive (``keep_pool`` only).
 
-    def close(self) -> None:
-        """Retire a kept process pool and its database spill (idempotent)."""
+        Cross-thread introspection (fault-injection tests read worker
+        PIDs from the test thread): a benign racy read of a reference,
+        never dereferenced for mutation by the reader.
+        """
+        return self._pool  # reprolint: disable=thread-ownership
+
+    def close(self) -> None:  # runs-on: dispatcher
+        """Retire a kept process pool and its database spill (idempotent).
+
+        The ``runs-on: dispatcher`` contract here is ownership
+        *transfer*, not thread identity: the caller must be done driving
+        ``stream``/``run`` before closing (the serve layer joins the
+        dispatcher thread first — a happens-before edge), at which point
+        the closing thread is the single logical driver these fields
+        belong to.
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

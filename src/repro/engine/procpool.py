@@ -485,29 +485,34 @@ class ProcessPool:
         self.ctx = multiprocessing.get_context(mp_context or default_start_method())
         self.max_respawns = max_respawns
         self.persistent = persistent
-        self._started = False
-        self._closed = False
+        # Scheduling state below is dispatcher-owned: one thread drives
+        # ensure_started/run/shutdown (sequential ``run`` calls only —
+        # see the class docstring). The concurrency contract checker
+        # flags any other thread reaching in; the worker processes only
+        # ever touch the queues.
+        self._started = False  # owned-by: dispatcher
+        self._closed = False  # owned-by: dispatcher
         #: First task index of the next ``run`` call. Task indexes are
         #: global across a persistent pool's lifetime so a straggler
         #: result from an abandoned earlier stream can never be mistaken
         #: for a current one (stale indexes are simply dropped).
-        self._task_base = 0
+        self._task_base = 0  # owned-by: dispatcher
         self._results = self.ctx.Queue()
-        self._slots = [
+        self._slots = [  # owned-by: dispatcher
             _WorkerSlot(slot=i, respawns_left=max_respawns) for i in range(jobs)
         ]
         #: chunk id -> set of task indices still outstanding from it.
-        self._chunk_members: dict[int, set[int]] = {}
+        self._chunk_members: dict[int, set[int]] = {}  # owned-by: dispatcher
         #: task index -> chunk id (to release the chunk as tasks finish).
-        self._chunk_of: dict[int, int] = {}
+        self._chunk_of: dict[int, int] = {}  # owned-by: dispatcher
         #: task index -> original item, kept while in flight so a task
         #: queued behind a crashed worker can be requeued on a sibling.
-        self._items: dict[int, Any] = {}
-        self._next_chunk_id = 0
+        self._items: dict[int, Any] = {}  # owned-by: dispatcher
+        self._next_chunk_id = 0  # owned-by: dispatcher
 
     # -- worker lifecycle --------------------------------------------------
 
-    def ensure_started(self) -> None:
+    def ensure_started(self) -> None:  # runs-on: dispatcher
         """Spawn the worker set once (idempotent; used by persistent pools)."""
         if self._closed:
             raise RuntimeError("pool has been shut down")
@@ -519,17 +524,26 @@ class ProcessPool:
         self._started = True
 
     def worker_pids(self) -> list[int]:
-        """PIDs of the live workers (fault-injection tests target these)."""
+        """PIDs of the live workers (fault-injection tests target these).
+
+        Cross-thread introspection: a racy read of live slot state used
+        by tests and diagnostics only, never to mutate the pool.
+        """
+        slots = self._slots  # reprolint: disable=thread-ownership
         return [
             slot.proc.pid
-            for slot in self._slots
+            for slot in slots
             if slot.proc is not None and slot.proc.is_alive() and slot.proc.pid
         ]
 
     @property
     def alive_workers(self) -> int:
-        """Slots that have not exhausted their respawn budget."""
-        return len(self._alive_slots())
+        """Slots that have not exhausted their respawn budget.
+
+        Cross-thread introspection, same caveat as :meth:`worker_pids`.
+        """
+        slots = self._slots  # reprolint: disable=thread-ownership
+        return sum(1 for s in slots if not s.dead)
 
     def _spawn(self, slot: _WorkerSlot) -> None:
         slot.task_queue = self.ctx.Queue()
@@ -639,7 +653,7 @@ class ProcessPool:
         if chunk:
             yield chunk
 
-    def run(
+    def run(  # runs-on: dispatcher
         self,
         tasks: Iterable[Any],
         *,
@@ -759,11 +773,15 @@ class ProcessPool:
             if not self.persistent:
                 self.shutdown()
 
-    def shutdown(self) -> None:
+    def shutdown(self) -> None:  # runs-on: dispatcher
         """Stop every worker (sentinel, join, then terminate stragglers).
 
         Idempotent; a persistent pool cannot be restarted afterwards
-        (the shared result queue is closed for good).
+        (the shared result queue is closed for good). Runs on the
+        dispatcher role: either from ``run``'s cleanup, or from a
+        closing thread after the stream is fully drained — at which
+        point ownership has transferred and that thread is the single
+        logical driver of the pool.
         """
         self._started = False
         for slot in self._slots:

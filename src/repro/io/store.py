@@ -22,12 +22,12 @@ module-level :func:`get_default_store` is the shared per-process default.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
+from repro.analysis.witness import new_lock, thread_shared
 from repro.errors import SequenceError
 from repro.io.database import SequenceDatabase
 
@@ -78,6 +78,7 @@ class ShardHandle:
         return self.partition.db
 
 
+@thread_shared
 class DatabaseStore:
     """LRU-resident database handles, opened by path or registered name.
 
@@ -96,12 +97,12 @@ class DatabaseStore:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.mmap = mmap
-        self.stats = StoreStats()
-        self._lock = threading.Lock()
-        self._resident: OrderedDict[str, SequenceDatabase] = OrderedDict()
-        self._pinned: dict[str, SequenceDatabase] = {}
-        self._shards: dict[tuple[str, int, bool], list] = {}
-        self._blocks: dict[tuple[str, int], list] = {}
+        self.stats = StoreStats()  # guarded-by: self._lock
+        self._lock = new_lock("DatabaseStore._lock")
+        self._resident: OrderedDict[str, SequenceDatabase] = OrderedDict()  # guarded-by: self._lock
+        self._pinned: dict[str, SequenceDatabase] = {}  # guarded-by: self._lock
+        self._shards: dict[tuple[str, int, bool], list] = {}  # guarded-by: self._lock
+        self._blocks: dict[tuple[str, int], list] = {}  # guarded-by: self._lock
 
     # -- keys --------------------------------------------------------------
 
@@ -276,7 +277,7 @@ class DatabaseStore:
 
 
 _DEFAULT_STORE: DatabaseStore | None = None
-_DEFAULT_LOCK = threading.Lock()
+_DEFAULT_LOCK = new_lock("store._DEFAULT_LOCK")
 
 
 def get_default_store() -> DatabaseStore:

@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
+
+from repro.analysis.witness import new_lock, thread_shared
 
 if TYPE_CHECKING:
     from repro.core.statistics import SearchParams
@@ -95,6 +96,7 @@ class CacheKey:
     params: str
 
 
+@thread_shared
 class ResultCache:
     """LRU of canonical payload bytes with locked stats.
 
@@ -111,9 +113,9 @@ class ResultCache:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
-        self.stats = CacheStats()
-        self._lock = threading.Lock()
-        self._entries: OrderedDict[CacheKey, bytes] = OrderedDict()
+        self.stats = CacheStats()  # guarded-by: self._lock
+        self._lock = new_lock("ResultCache._lock")
+        self._entries: OrderedDict[CacheKey, bytes] = OrderedDict()  # guarded-by: self._lock
 
     def get(self, key: CacheKey) -> bytes | None:
         """The cached payload bytes, or ``None`` (counted as hit/miss)."""

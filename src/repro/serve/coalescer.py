@@ -19,9 +19,10 @@ Hypothesis property suite over arbitrary add/flush interleavings
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Generic, TypeVar
+
+from repro.analysis.witness import new_lock, thread_shared
 
 T = TypeVar("T")
 
@@ -45,6 +46,7 @@ class CoalescerStats:
         return self.emitted / self.batches if self.batches else 0.0
 
 
+@thread_shared
 class Coalescer(Generic[T]):
     """Clock-free FIFO batcher with a size bound.
 
@@ -58,9 +60,9 @@ class Coalescer(Generic[T]):
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         self.max_batch = max_batch
-        self.stats = CoalescerStats()
-        self._lock = threading.Lock()
-        self._pending: list[T] = []
+        self.stats = CoalescerStats()  # guarded-by: self._lock
+        self._lock = new_lock("Coalescer._lock")
+        self._pending: list[T] = []  # guarded-by: self._lock
 
     def add(self, item: T) -> list[T] | None:
         """Record an arrival; return the closed batch if it filled one."""

@@ -50,7 +50,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Awaitable, Callable
 
 from repro.engine.procpool import RemoteTaskError, WorkerCrashError
-from repro.serve.service import OverloadedError, SearchService, ServiceClosedError
+from repro.serve.service import (
+    OverloadedError,
+    SearchService,
+    ServeOutcome,
+    ServiceClosedError,
+)
 
 if TYPE_CHECKING:
     from concurrent.futures import Future
@@ -173,7 +178,10 @@ class SearchHttpServer:
     async def _dispatch(
         self, request: _HttpRequest
     ) -> tuple[int, bytes, dict[str, str] | None]:
-        route: Callable[[_HttpRequest], Awaitable[tuple[int, bytes, dict | None]]] | None
+        route: (
+            Callable[[_HttpRequest], Awaitable[tuple[int, bytes, dict[str, str] | None]]]
+            | None
+        )
         route = {
             ("POST", "/search"): self._search,
             ("GET", "/healthz"): self._healthz,
@@ -186,7 +194,9 @@ class SearchHttpServer:
             return status, _error_body(status, _REASONS[status], request.path), None
         return await route(request)
 
-    async def _search(self, request: _HttpRequest) -> tuple[int, bytes, dict | None]:
+    async def _search(
+        self, request: _HttpRequest
+    ) -> tuple[int, bytes, dict[str, str] | None]:
         try:
             payload = json.loads(request.body)
             query_id = str(payload["query_id"])
@@ -196,7 +206,7 @@ class SearchHttpServer:
         except (ValueError, KeyError, TypeError) as exc:
             return 400, _error_body(400, "BadRequest", f"bad /search body: {exc}"), None
         try:
-            future: "Future" = self.service.submit(query_id, sequence)
+            future: "Future[ServeOutcome]" = self.service.submit(query_id, sequence)
         except OverloadedError as exc:
             return 429, _error_body(429, "Overloaded", str(exc)), {"Retry-After": "1"}
         except ServiceClosedError as exc:
@@ -211,7 +221,9 @@ class SearchHttpServer:
             return 500, _error_body(500, type(exc).__name__, str(exc)), None
         return 200, outcome.payload, {"X-Cache": "HIT" if outcome.cache_hit else "MISS"}
 
-    async def _healthz(self, request: _HttpRequest) -> tuple[int, bytes, dict | None]:
+    async def _healthz(
+        self, request: _HttpRequest
+    ) -> tuple[int, bytes, dict[str, str] | None]:
         body = json.dumps(
             {
                 "status": "ok",
@@ -223,10 +235,14 @@ class SearchHttpServer:
         ).encode()
         return 200, body, None
 
-    async def _stats(self, request: _HttpRequest) -> tuple[int, bytes, dict | None]:
+    async def _stats(
+        self, request: _HttpRequest
+    ) -> tuple[int, bytes, dict[str, str] | None]:
         return 200, json.dumps(self.service.stats_dict(), sort_keys=True).encode(), None
 
-    async def _refresh_db(self, request: _HttpRequest) -> tuple[int, bytes, dict | None]:
+    async def _refresh_db(
+        self, request: _HttpRequest
+    ) -> tuple[int, bytes, dict[str, str] | None]:
         old, new, invalidated = self.service.refresh_db_version()
         body = json.dumps(
             {"old": old, "new": new, "invalidated": invalidated}, sort_keys=True

@@ -39,8 +39,9 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Union
+from typing import TYPE_CHECKING, Any, Callable, Union
 
+from repro.analysis.witness import new_condition, thread_shared
 from repro.engine.executor import BatchExecutor
 from repro.engine.protocol import Engine, make_engine
 from repro.errors import ReproError
@@ -105,8 +106,15 @@ class ServiceStats:
     completed: int = 0
 
 
+@thread_shared
 class SearchService:
     """Coalescing, caching search service over one resident database.
+
+    Thread contract (checked by ``repro lint --concurrency``): request
+    threads enter through :meth:`submit`; one dispatcher thread owns
+    batch execution; the *lifecycle* role — the single logical thread
+    that drives :meth:`start`/:meth:`close` — owns the dispatcher
+    handle. Everything the roles share is guarded by ``self._cond``.
 
     Parameters
     ----------
@@ -174,10 +182,10 @@ class SearchService:
         self.max_pending = max_pending
         self.backend = backend
         self._db, self._db_path, self._db_spill = self._resolve_db(db, backend)
-        self.db_version = self._read_db_version()
+        self.db_version = self._read_db_version()  # guarded-by: self._cond
         self.cache = ResultCache(cache_capacity)
         self.coalescer: Coalescer[_Request] = Coalescer(max_batch)
-        self.stats = ServiceStats()
+        self.stats = ServiceStats()  # guarded-by: self._cond
         self.executor = BatchExecutor(
             self.engine,
             jobs=jobs,
@@ -189,18 +197,20 @@ class SearchService:
             mp_context=mp_context,
         )
         self._params_key = params_key(self.params)
-        self._cond = threading.Condition()
-        self._ready: deque[list[_Request]] = deque()
-        self._deadline: float | None = None
+        self._cond = new_condition("SearchService._cond")
+        self._ready: deque[list[_Request]] = deque()  # guarded-by: self._cond
+        self._deadline: float | None = None  # guarded-by: self._cond
         #: Requests admitted and not yet resolved (queued or executing).
-        self._admitted = 0
-        self._closed = False
-        self._dispatcher: threading.Thread | None = None
+        self._admitted = 0  # guarded-by: self._cond
+        self._closed = False  # guarded-by: self._cond
+        self._dispatcher: threading.Thread | None = None  # owned-by: lifecycle
 
     # -- database binding --------------------------------------------------
 
     @staticmethod
-    def _resolve_db(db: "DatabaseLike", backend: str):
+    def _resolve_db(
+        db: "DatabaseLike", backend: str
+    ) -> "tuple[DatabaseLike, Path | None, Callable[[], None] | None]":
         """Bind the database: ``(executor_db_arg, binary_path, spill_cleanup)``.
 
         The process backend needs a stable binary path (the warm pool is
@@ -242,11 +252,19 @@ class SearchService:
         served) and every cache entry keyed under a superseded stamp is
         reclaimed. Entries for the current stamp are untouched.
         """
-        old = self.db_version
         new = self._read_db_version()
+        with self._cond:
+            # The version swap races with request threads keying the
+            # cache off db_version; publish it under the lock. Eviction
+            # and invalidation run outside — both are idempotent, and
+            # holding _cond across store/cache locks would add ordering
+            # edges for no benefit.
+            old = self.db_version
+            changed = new != old
+            if changed:
+                self.db_version = new
         invalidated = 0
-        if new != old:
-            self.db_version = new
+        if changed:
             if self._db_path is not None:
                 from repro.io.store import get_default_store
 
@@ -256,7 +274,7 @@ class SearchService:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def start(self) -> "SearchService":
+    def start(self) -> "SearchService":  # runs-on: lifecycle
         """Start the dispatcher thread (idempotent); returns ``self``."""
         if self._dispatcher is None:
             self._dispatcher = threading.Thread(
@@ -265,7 +283,7 @@ class SearchService:
             self._dispatcher.start()
         return self
 
-    def close(self) -> None:
+    def close(self) -> None:  # runs-on: lifecycle
         """Drain pending batches, stop the dispatcher, retire the pool."""
         with self._cond:
             if self._closed:
@@ -313,9 +331,13 @@ class SearchService:
         key = CacheKey(query_key(sequence), self.db_version, self._params_key)
         cached = self.cache.get(key)
         if cached is not None:
-            self.stats.requests += 1
-            self.stats.cache_hits += 1
-            self.stats.completed += 1
+            # Counter updates take the lock even on the fast path: hits
+            # race with the dispatcher's completed += len(batch) and a
+            # lost update here understates every serving metric.
+            with self._cond:
+                self.stats.requests += 1
+                self.stats.cache_hits += 1
+                self.stats.completed += 1
             fut: "Future[ServeOutcome]" = Future()
             fut.set_result(ServeOutcome(query_id, cached, cache_hit=True))
             return fut
@@ -349,7 +371,7 @@ class SearchService:
 
     # -- dispatcher --------------------------------------------------------
 
-    def _next_batch(self) -> list[_Request] | None:
+    def _next_batch(self) -> list[_Request] | None:  # runs-on: dispatcher
         with self._cond:
             while True:
                 if self._ready:
@@ -368,15 +390,16 @@ class SearchService:
                     continue
                 self._cond.wait(remaining)
 
-    def _dispatch_loop(self) -> None:
+    def _dispatch_loop(self) -> None:  # runs-on: dispatcher
         while True:
             batch = self._next_batch()
             if batch is None:
                 return
             self._execute(batch)
 
-    def _execute(self, batch: list[_Request]) -> None:
+    def _execute(self, batch: list[_Request]) -> None:  # runs-on: dispatcher
         queries = [(r.query_id, r.sequence) for r in batch]
+        completed = 0
         try:
             outcomes = list(self.executor.stream(queries, self._db))
         except Exception as exc:
@@ -391,17 +414,22 @@ class SearchService:
                 else:
                     payload = payload_to_bytes(result_to_payload(outcome.result))
                     self.cache.put(r.key, payload)
-                    self.stats.completed += 1
+                    completed += 1
                     r.future.set_result(
                         ServeOutcome(r.query_id, payload, cache_hit=False)
                     )
         finally:
+            # One locked update per batch: the counters race with the
+            # cache-hit path in request threads, so the batch's tally is
+            # folded in under the same lock as the admission count.
             with self._cond:
+                self.stats.completed += completed
                 self._admitted -= len(batch)
                 self._cond.notify_all()
 
     def _resolve_error(self, request: _Request, error: Exception) -> None:
-        self.stats.failed += 1
+        with self._cond:
+            self.stats.failed += 1
         request.future.set_exception(error)
 
     # -- introspection -----------------------------------------------------
@@ -417,7 +445,7 @@ class SearchService:
         with self._cond:
             return self._admitted
 
-    def stats_dict(self) -> dict:
+    def stats_dict(self) -> dict[str, Any]:
         """One JSON-able snapshot across service, coalescer, and cache."""
         c, k = self.coalescer.stats, self.cache.stats
         return {

@@ -1,0 +1,20 @@
+"""Fixture: a guarded attribute written outside its lock's scope."""
+
+import threading
+
+__all__ = ["Counter"]
+
+
+class Counter:
+    """Shared counter whose contract its own method violates."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: self._lock
+
+    def bump(self) -> None:
+        self.count += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0

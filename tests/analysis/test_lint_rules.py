@@ -31,6 +31,7 @@ FIXTURE_RULES = {
     "bare_except_violation.py": "no-bare-except",
     "api_all_violation.py": "public-api-all",
     "record_loop_violation.py": "no-per-record-loop-in-phase",
+    "thread_ownership_violation.py": "thread-ownership",
 }
 
 

@@ -97,6 +97,32 @@ def small_cutoffs(small_pipeline, small_db):
     return small_pipeline.cutoffs(small_db)
 
 
+@pytest.fixture()
+def lock_witness():
+    """Run one test under the runtime lock witness, asserting it clean.
+
+    Enables the process-global registry *before* the test body runs, so
+    every lock constructed through :func:`repro.analysis.witness.new_lock`
+    inside the test becomes a witnessed lock. At teardown the observed
+    acquisition-order graph must be acyclic and the violation log empty —
+    a lock inversion or a blocking call under a lock anywhere in the test
+    fails it, even when the run happened not to deadlock.
+    """
+    from repro.analysis.witness import get_witness_registry
+
+    registry = get_witness_registry()
+    was_enabled = registry.enabled
+    registry.enable()
+    registry.reset()
+    try:
+        yield registry
+        registry.assert_clean()
+        assert registry.cycles() == [], registry.snapshot()["cycles"]
+    finally:
+        registry.reset()
+        registry.enabled = was_enabled
+
+
 def extension_keys(extensions):
     """Canonical comparable form of an extension list."""
     return sorted(

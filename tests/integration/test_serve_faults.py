@@ -38,6 +38,16 @@ pytestmark = [pytest.mark.serve, pytest.mark.slow]
 KILL = "kill"
 
 
+@pytest.fixture(autouse=True)
+def _witnessed(lock_witness):
+    """Every fault-injection test runs under the runtime lock witness.
+
+    Each test constructs (and closes) its own service, so all witnessed
+    locks live and die inside the test body; teardown asserts the
+    observed acquisition-order graph acyclic and the violation log empty.
+    """
+
+
 @pytest.fixture()
 def sabotage(monkeypatch):
     """Patch QueryTaskSpec.run: any query id starting with 'kill' dies."""

@@ -18,6 +18,11 @@ def queries(tiny_spec):
     ]
 
 
+@pytest.fixture(autouse=True)
+def _witnessed(lock_witness):
+    """Executor tests run under the runtime lock witness."""
+
+
 class TestBatchSearch:
     def test_results_in_input_order(self, queries, tiny_db, tiny_params):
         batch = batch_search(queries, tiny_db, tiny_params)

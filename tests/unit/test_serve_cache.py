@@ -31,7 +31,7 @@ class TestResultCache:
         assert cache.stats.misses == 1
         assert cache.stats.hits == 1
         assert cache.stats.requests == 2
-        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.hit_rate == pytest.approx(0.5)
 
     def test_lru_eviction_order(self):
         cache = ResultCache(capacity=2)

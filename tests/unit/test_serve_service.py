@@ -29,6 +29,10 @@ def queries(tiny_spec):
 
 
 class TestSearchService:
+    @pytest.fixture(autouse=True)
+    def _witnessed(self, lock_witness):
+        """Each test's service runs under the runtime lock witness."""
+
     def test_results_match_direct_engine_run(self, tiny_db, tiny_query):
         from repro.engine import make_engine
         from repro.verify.canonical import result_digest
@@ -93,6 +97,36 @@ class TestSearchService:
         svc.close()  # dispatcher never started
         with pytest.raises(ServiceClosedError):
             fut.result(timeout=10)
+
+    def test_stats_counters_exact_under_concurrent_cache_hits(
+        self, tiny_db, tiny_query
+    ):
+        """Regression: stats updates are serialized under the service lock.
+
+        The cache-hit path used to bump ``requests``/``cache_hits``/
+        ``completed`` without holding ``_cond``; under a burst of
+        concurrent hits the read-modify-write races lost increments.
+        Counters must come out exact, not approximately right.
+        """
+        import threading
+
+        hits = 24
+        with SearchService(tiny_db, backend="thread", window_ms=0) as svc:
+            svc.search("warm", tiny_query, timeout=120)
+            base = svc.stats.requests
+            threads = [
+                threading.Thread(
+                    target=svc.search, args=("warm", tiny_query), kwargs={"timeout": 120}
+                )
+                for _ in range(hits)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert svc.stats.requests == base + hits
+            assert svc.stats.cache_hits == hits
+            assert svc.stats.completed == base + hits
 
     def test_rejects_bad_configuration(self, tiny_db):
         with pytest.raises(ValueError):
